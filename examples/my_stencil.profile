@@ -1,0 +1,24 @@
+# Example user-defined workload profile.
+#
+# Characterize it with:
+#   dune exec bin/repro_cli.exe -- characterize --profile examples/my_stencil.profile
+#
+# Format: `key = value` per line, `#` comments. `like = <benchmark>`
+# inherits every parameter from a built-in profile; later lines
+# override individual fields. See Repro_workload.Profile_io.
+
+name = my-stencil
+like = FT
+
+# A 5-point stencil sweeps long constant-trip rows: ideal loop-predictor
+# territory.
+parallel.inner_trip = const:256
+parallel.branch_fraction = 0.045
+parallel.avg_inst_bytes = 6.4
+parallel.hot_kb = 5
+
+# Halo exchange + reduction between sweeps runs on the master thread.
+serial_fraction = 0.015
+
+# Strongly memory-bound.
+data_stall_cpi = 1.1
