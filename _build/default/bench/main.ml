@@ -1,0 +1,182 @@
+(* Benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe                 regenerate every table and
+                                              figure, then run the
+                                              Bechamel microbenchmarks
+     dune exec bench/main.exe -- fig5 tab3    only those experiments
+     dune exec bench/main.exe -- micro        only the microbenchmarks
+     REPRO_SCALE=0.2 dune exec bench/main.exe faster, noisier runs *)
+
+module W = Repro_workload
+module A = Repro_analysis
+module F = Repro_frontend
+
+let scale =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | Some s -> (try float_of_string s with Failure _ -> 1.0)
+  | None -> 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Experiment regeneration: one section per paper table/figure. *)
+
+let run_experiment id =
+  let t0 = Unix.gettimeofday () in
+  print_string (Repro_core.Report.run_to_string ~scale id);
+  Printf.printf "(%s regenerated in %.1fs at scale %g)\n\n"
+    (Repro_core.Experiment.to_string id)
+    (Unix.gettimeofday () -. t0)
+    scale
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the simulator substrate: one group per
+   hardware structure plus the end-to-end trace generator. *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  (* Pre-generate a small dynamic trace once; benchmarks replay it. *)
+  let profile = W.Suites.find "FT" in
+  let executor = W.Executor.create ~insts:60_000 profile in
+  let branches =
+    let acc = ref [] in
+    W.Executor.run executor (fun i ->
+        if i.Repro_isa.Inst.kind = Repro_isa.Inst.Cond_branch then
+          acc := (i.Repro_isa.Inst.addr, i.Repro_isa.Inst.taken) :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let insts =
+    let acc = ref [] in
+    W.Executor.run executor (fun i ->
+        acc := (i.Repro_isa.Inst.addr, i.Repro_isa.Inst.size) :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let bp_test name mk =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let p : F.Predictor.t = mk () in
+           Array.iter
+             (fun (pc, taken) ->
+               ignore (p.F.Predictor.predict pc);
+               p.F.Predictor.update pc taken)
+             branches))
+  in
+  let tests =
+    [ bp_test "gshare-small/60k-branches" F.Zoo.gshare_small;
+      bp_test "tournament-small/60k-branches" F.Zoo.tournament_small;
+      bp_test "tage-big/60k-branches" F.Zoo.tage_big;
+      bp_test "L-gshare-small/60k-branches" (fun () ->
+          F.Zoo.with_loop (F.Zoo.gshare_small ()));
+      Test.make ~name:"btb-1K/60k-branches"
+        (Staged.stage (fun () ->
+             let b = F.Btb.create ~entries:1024 ~assoc:4 in
+             Array.iter
+               (fun (pc, taken) ->
+                 if taken then begin
+                   ignore (F.Btb.lookup b ~pc);
+                   F.Btb.insert b ~pc ~target:(pc + 16)
+                 end)
+               branches));
+      Test.make ~name:"icache-16K/60k-insts"
+        (Staged.stage (fun () ->
+             let c =
+               F.Icache.create ~size_bytes:16384 ~line_bytes:64 ~assoc:4 ()
+             in
+             Array.iter
+               (fun (addr, size) -> ignore (F.Icache.access c ~addr ~size))
+               insts));
+      Test.make ~name:"trace-generation/60k-insts"
+        (Staged.stage (fun () -> W.Executor.run executor (fun _ -> ())));
+      Test.make ~name:"characterize/60k-insts"
+        (Staged.stage (fun () ->
+             ignore
+               (A.Characterization.of_trace ~name:"bench"
+                  ~suite:W.Suite.Npb
+                  (W.Executor.trace executor)))) ]
+  in
+  print_endline "==== microbenchmarks (Bechamel, monotonic clock) ====";
+  let grouped = Test.make_grouped ~name:"frontend-repro" tests in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let tbl = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) tbl [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some (t :: _) -> Printf.printf "  %-48s %12.0f ns/run\n" name t
+      | Some [] | None -> Printf.printf "  %-48s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline "==== ablation: per-structure contribution (NPB suite) ====";
+  let insts = max 50_000 (int_of_float (1_000_000.0 *. scale)) in
+  let rows =
+    Repro_core.Ablation.run ~insts (W.Suites.by_suite W.Suite.Npb)
+  in
+  Repro_util.Table.print (Repro_core.Ablation.table rows);
+  print_newline ()
+
+let extension_study () =
+  print_endline "==== extension studies (beyond the paper) ====";
+  let insts = max 50_000 (int_of_float (1_000_000.0 *. scale)) in
+  let benches = [ "CoMD"; "botsspar"; "FT"; "swim"; "gobmk"; "xalancbmk" ] in
+  Repro_util.Table.print
+    (Repro_core.Extension_study.predictor_table ~insts ~benchmarks:benches ());
+  print_newline ();
+  Repro_util.Table.print
+    (Repro_core.Extension_study.prefetch_table ~insts
+       ~benchmarks:[ "CoMD"; "FT"; "gobmk"; "xalancbmk" ] ());
+  print_newline ();
+  Repro_util.Table.print
+    (Repro_core.Extension_study.predictability_table
+       ~insts:(max 50_000 (int_of_float (500_000.0 *. scale))) ());
+  print_newline ()
+
+let thread_scaling () =
+  print_endline
+    "==== thread scaling: serial bottleneck vs core count (Section III-D) ====";
+  let insts = max 50_000 (int_of_float (1_000_000.0 *. scale)) in
+  List.iter
+    (fun name ->
+      let p = W.Suites.find name in
+      Repro_util.Table.print
+        (Repro_core.Thread_scaling.table name
+           (Repro_core.Thread_scaling.sweep ~insts p));
+      print_newline ())
+    [ "CoEVP"; "fma3d" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let extras = [ "micro"; "ablation"; "scaling"; "extension" ] in
+  let wants x = args = [] || List.mem x args in
+  let wants_micro = wants "micro" in
+  let ids =
+    match List.filter (fun a -> not (List.mem a extras)) args with
+    | [] -> if args <> [] then [] else Repro_core.Experiment.all
+    | picks ->
+        List.map
+          (fun s ->
+            match Repro_core.Experiment.of_string s with
+            | Some id -> id
+            | None ->
+                Printf.eprintf "unknown experiment %s\n" s;
+                exit 1)
+          picks
+  in
+  Printf.printf
+    "frontend-repro benchmark harness — scale %g (set REPRO_SCALE to change)\n\n"
+    scale;
+  List.iter run_experiment ids;
+  if wants "ablation" then ablation ();
+  if wants "scaling" then thread_scaling ();
+  if wants "extension" then extension_study ();
+  if wants_micro then microbenchmarks ()

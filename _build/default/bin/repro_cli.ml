@@ -1,0 +1,267 @@
+(* frontend-repro: command-line driver for the reproduction.
+
+   Subcommands:
+     list                     benchmarks and experiments
+     characterize [BENCH..]   architecture-independent characteristics
+     experiment ID            regenerate one table/figure
+     report                   regenerate everything
+     recommend [--suite S]    run the rebalancing engine
+     experiments-md           emit EXPERIMENTS.md content *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc =
+    "Scale factor on every benchmark's dynamic instruction budget \
+     (1.0 = full runs, smaller = faster and noisier)."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "Benchmarks:";
+    List.iter
+      (fun suite ->
+        Printf.printf "  %-14s %s\n"
+          (Repro_workload.Suite.to_string suite)
+          (String.concat ", "
+             (List.map
+                (fun (p : Repro_workload.Profile.t) -> p.name)
+                (Repro_workload.Suites.by_suite suite))))
+      Repro_workload.Suite.all;
+    print_endline "\nExperiments:";
+    List.iter
+      (fun id ->
+        Printf.printf "  %-6s %s\n"
+          (Repro_core.Experiment.to_string id)
+          (Repro_core.Experiment.describe id))
+      Repro_core.Experiment.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let characterize_cmd =
+  let benches =
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCH"
+           ~doc:"Benchmark names (default: one per suite)")
+  in
+  let profile_file =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Characterize a user-defined profile file instead                    (see Repro_workload.Profile_io for the format)")
+  in
+  let run scale profile_file benches =
+    let names =
+      if benches = [] then [ "CoMD"; "botsspar"; "FT"; "gobmk" ] else benches
+    in
+    let lookup name =
+      match profile_file with
+      | Some path ->
+          (match Repro_workload.Profile_io.load path with
+          | Ok p -> Some p
+          | Error e ->
+              Printf.eprintf "cannot load %s: %s\n" path e;
+              exit 1)
+      | None ->
+          List.find_opt
+            (fun (p : Repro_workload.Profile.t) -> p.name = name)
+            Repro_workload.Suites.all
+    in
+    let names = match profile_file with Some _ -> [ "(file)" ] | None -> names in
+    List.iter
+      (fun name ->
+        match lookup name with
+        | None -> Printf.eprintf "unknown benchmark %s (try `list`)\n" name
+        | Some p ->
+            let insts =
+              max 50_000 (int_of_float (float_of_int p.total_insts *. scale))
+            in
+            let c = Repro_analysis.Characterization.of_profile ~insts p in
+            let open Repro_analysis in
+            let total = Branch_mix.Total in
+            Printf.printf
+              "%s (%s): %.1f%% branches, %.0f%% biased, %.0f%% backward-taken, \
+               static %s, 99%%-dynamic %s, BBL %.0fB, taken-distance %.0fB\n"
+              name
+              (Repro_workload.Suite.to_string p.suite)
+              (100.0 *. Branch_mix.branch_fraction c.mix total)
+              (100.0 *. Branch_bias.biased_fraction c.bias total)
+              (100.0 *. Branch_bias.backward_taken_fraction c.bias total)
+              (Repro_util.Units.pp_bytes (Footprint.static_bytes c.footprint total))
+              (Repro_util.Units.pp_bytes
+                 (Footprint.dynamic_bytes c.footprint total ~coverage:0.99))
+              (Bblock_stats.avg_block_bytes c.bblocks total)
+              (Bblock_stats.avg_taken_distance c.bblocks total))
+      names
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Print architecture-independent characteristics of benchmarks")
+    Term.(const run $ scale_arg $ profile_file $ benches)
+
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id, e.g. fig5 or tab3")
+  in
+  let run scale id =
+    match Repro_core.Experiment.of_string id with
+    | None ->
+        Printf.eprintf "unknown experiment %s (try `list`)\n" id;
+        exit 1
+    | Some id -> print_string (Repro_core.Report.run_to_string ~scale id)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure")
+    Term.(const run $ scale_arg $ id_arg)
+
+let report_cmd =
+  let run scale =
+    print_string (Repro_core.Report.run_all_to_string ~scale ())
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Regenerate every table and figure")
+    Term.(const run $ scale_arg)
+
+let experiments_md_cmd =
+  let run scale =
+    print_string (Repro_core.Report.experiments_markdown ~scale ())
+  in
+  Cmd.v
+    (Cmd.info "experiments-md" ~doc:"Emit EXPERIMENTS.md body to stdout")
+    Term.(const run $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let recommend_cmd =
+  let suite_arg =
+    Arg.(value & opt (some string) None
+         & info [ "suite" ] ~docv:"SUITE"
+             ~doc:"Workload suite: exmatex, omp, npb, int, or hpc (default)")
+  in
+  let run scale suite =
+    let profiles =
+      match Option.map String.lowercase_ascii suite with
+      | None | Some "hpc" ->
+          List.concat_map Repro_workload.Suites.by_suite
+            Repro_workload.Suite.hpc
+      | Some "exmatex" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Exmatex
+      | Some "omp" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Spec_omp
+      | Some "npb" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Npb
+      | Some "int" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Spec_int
+      | Some other ->
+          Printf.eprintf "unknown suite %s\n" other;
+          exit 1
+    in
+    let insts = max 50_000 (int_of_float (2_000_000.0 *. scale)) in
+    let r = Repro_core.Rebalance.recommend ~insts profiles in
+    List.iter print_endline r.rationale;
+    print_endline "\nPareto sweep (by area):";
+    List.iter
+      (fun (e : Repro_core.Rebalance.estimate) ->
+        Printf.printf "  %-40s %.2f mm2  %.2f W  worst %+5.1f%%  avg %+5.1f%%\n"
+          (Repro_uarch.Frontend_config.name e.config)
+          e.area_mm2 e.power_w
+          (100.0 *. (e.slowdown -. 1.0))
+          (100.0 *. (e.avg_slowdown -. 1.0)))
+      r.candidates
+  in
+  Cmd.v
+    (Cmd.info "recommend"
+       ~doc:"Sweep front-end designs and recommend the cheapest safe one")
+    Term.(const run $ scale_arg $ suite_arg)
+
+let ablation_cmd =
+  let suite_arg =
+    Arg.(value & opt string "npb"
+         & info [ "suite" ] ~docv:"SUITE" ~doc:"exmatex, omp, npb, int or hpc")
+  in
+  let run scale suite =
+    let profiles =
+      match suite with
+      | "hpc" ->
+          List.concat_map Repro_workload.Suites.by_suite
+            Repro_workload.Suite.hpc
+      | "exmatex" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Exmatex
+      | "omp" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Spec_omp
+      | "npb" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Npb
+      | "int" -> Repro_workload.Suites.by_suite Repro_workload.Suite.Spec_int
+      | other ->
+          Printf.eprintf "unknown suite %s\n" other;
+          exit 1
+    in
+    let insts = max 50_000 (int_of_float (2_000_000.0 *. scale)) in
+    Repro_util.Table.print
+      (Repro_core.Ablation.table (Repro_core.Ablation.run ~insts profiles))
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Isolate each downsized structure's area/power/performance share")
+    Term.(const run $ scale_arg $ suite_arg)
+
+let scaling_cmd =
+  let bench_arg =
+    Arg.(value & pos 0 string "CoEVP" & info [] ~docv:"BENCH")
+  in
+  let run scale bench =
+    let p = Repro_workload.Suites.find bench in
+    let insts =
+      max 50_000 (int_of_float (float_of_int p.total_insts *. scale))
+    in
+    Repro_util.Table.print
+      (Repro_core.Thread_scaling.table bench
+         (Repro_core.Thread_scaling.sweep ~insts p))
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Serial-bottleneck growth with core count (Section III-D)")
+    Term.(const run $ scale_arg $ bench_arg)
+
+let export_cmd =
+  let dir_arg =
+    Arg.(value & opt string "results"
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory for CSV files")
+  in
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (default: all)")
+  in
+  let run scale dir ids =
+    let ids =
+      match ids with
+      | [] -> Repro_core.Experiment.all
+      | picks ->
+          List.filter_map
+            (fun s ->
+              match Repro_core.Experiment.of_string s with
+              | Some id -> Some id
+              | None ->
+                  Printf.eprintf "unknown experiment %s (skipped)\n" s;
+                  None)
+            picks
+    in
+    List.iter
+      (fun id ->
+        let paths = Repro_core.Export.write_experiment ~scale ~dir id in
+        List.iter (Printf.printf "wrote %s\n") paths)
+      ids
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write experiment results as CSV files")
+    Term.(const run $ scale_arg $ dir_arg $ ids_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Rebalancing the Core Front-End through HPC Code \
+     Analysis' (IISWC 2016)"
+  in
+  let info = Cmd.info "frontend-repro" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; characterize_cmd; experiment_cmd; report_cmd;
+            experiments_md_cmd; recommend_cmd; ablation_cmd; scaling_cmd;
+            export_cmd ]))

@@ -1,0 +1,1 @@
+examples/asymmetric_cmp.ml: Array List Printf Repro_uarch Repro_util Repro_workload Sys

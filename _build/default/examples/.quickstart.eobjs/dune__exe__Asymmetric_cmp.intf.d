@@ -1,0 +1,1 @@
+examples/asymmetric_cmp.mli:

@@ -1,0 +1,1 @@
+examples/characterize_hpc.ml: Array List Printf Repro_analysis Repro_isa Repro_util Repro_workload Sys

@@ -1,0 +1,1 @@
+examples/characterize_hpc.mli:

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: List Printf Repro_analysis Repro_uarch Repro_util Repro_workload

@@ -1,0 +1,1 @@
+examples/design_explorer.ml: Array List Printf Repro_core Repro_uarch Repro_workload Sys

@@ -1,0 +1,1 @@
+examples/frontend_autopsy.ml: Array List Printf Repro_analysis Repro_uarch Repro_util Repro_workload Sys

@@ -1,0 +1,1 @@
+examples/frontend_autopsy.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Repro_analysis Repro_frontend Repro_workload

@@ -1,0 +1,47 @@
+(* Serial vs parallel code sections inside HPC applications (the
+   paper's Characteristic 5): the serial sections of parallel HPC
+   programs look like desktop code, which motivates the asymmetric
+   CMP design.
+
+     dune exec examples/characterize_hpc.exe [-- scale] *)
+
+module W = Repro_workload
+module A = Repro_analysis
+module Table = Repro_util.Table
+
+let () =
+  let scale = try float_of_string Sys.argv.(1) with _ -> 0.25 in
+  let serial = A.Branch_mix.Only Repro_isa.Section.Serial in
+  let parallel = A.Branch_mix.Only Repro_isa.Section.Parallel in
+  let t =
+    Table.create
+      ~title:"Serial vs parallel code sections (HPC benchmarks with >=4% serial)"
+      [ ("benchmark", Table.Left); ("serial insts", Table.Right);
+        ("branch% ser", Table.Right); ("branch% par", Table.Right);
+        ("BBL ser", Table.Right); ("BBL par", Table.Right);
+        ("bwd-taken ser", Table.Right); ("bwd-taken par", Table.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let p = W.Suites.find name in
+      let insts =
+        max 100_000 (int_of_float (float_of_int p.total_insts *. scale))
+      in
+      let c = A.Characterization.of_profile ~insts p in
+      Table.add_row t
+        [ name;
+          Table.fmt_pct p.serial_fraction;
+          Table.fmt_pct (A.Branch_mix.branch_fraction c.mix serial);
+          Table.fmt_pct (A.Branch_mix.branch_fraction c.mix parallel);
+          Printf.sprintf "%.0fB" (A.Bblock_stats.avg_block_bytes c.bblocks serial);
+          Printf.sprintf "%.0fB" (A.Bblock_stats.avg_block_bytes c.bblocks parallel);
+          Table.fmt_pct (A.Branch_bias.backward_taken_fraction c.bias serial);
+          Table.fmt_pct (A.Branch_bias.backward_taken_fraction c.bias parallel) ])
+    [ "CoEVP"; "LULESH"; "CoSP"; "CoMD"; "CoHMM"; "nab"; "fma3d" ];
+  Table.print t;
+  print_endline
+    "Serial sections are 2-3x branchier with much shorter basic blocks -\n\
+     closer to SPEC CPU INT than to the parallel sections around them.\n\
+     A worker-core front-end sized for the parallel sections would slow\n\
+     these sections down; hence one full-size core per CMP (the paper's\n\
+     asymmetric design, examples/asymmetric_cmp.exe)."

@@ -1,0 +1,44 @@
+(* Front-end design-space exploration: the paper's methodology as an
+   API. Sweep candidate front-ends over a workload set, then ask the
+   rebalancing engine for the cheapest design with bounded slowdown.
+
+     dune exec examples/design_explorer.exe [-- suite [scale]]
+   where suite is hpc (default), exmatex, omp, npb or int. *)
+
+module W = Repro_workload
+module U = Repro_uarch
+module R = Repro_core.Rebalance
+
+let () =
+  let suite = try Sys.argv.(1) with _ -> "hpc" in
+  let scale = try float_of_string Sys.argv.(2) with _ -> 0.15 in
+  let profiles =
+    match suite with
+    | "hpc" -> List.concat_map W.Suites.by_suite W.Suite.hpc
+    | "exmatex" -> W.Suites.by_suite W.Suite.Exmatex
+    | "omp" -> W.Suites.by_suite W.Suite.Spec_omp
+    | "npb" -> W.Suites.by_suite W.Suite.Npb
+    | "int" -> W.Suites.by_suite W.Suite.Spec_int
+    | s -> failwith ("unknown suite " ^ s)
+  in
+  let insts = max 50_000 (int_of_float (2_000_000.0 *. scale)) in
+  Printf.printf "Sweeping %d designs over %d %s workloads (%d insts each)...\n\n"
+    (List.length R.default_candidates)
+    (List.length profiles) suite insts;
+  let r = R.recommend ~insts profiles in
+  Printf.printf "%-44s %8s %7s %8s %8s\n" "design" "area" "power" "worst" "avg";
+  List.iter
+    (fun (e : R.estimate) ->
+      Printf.printf "%-44s %6.2fmm2 %5.2fW %+7.1f%% %+7.1f%%%s\n"
+        (U.Frontend_config.name e.config)
+        e.area_mm2 e.power_w
+        (100.0 *. (e.slowdown -. 1.0))
+        (100.0 *. (e.avg_slowdown -. 1.0))
+        (if e.config = r.chosen.config then "   <- chosen" else ""))
+    r.candidates;
+  print_newline ();
+  List.iter print_endline r.rationale;
+  Printf.printf
+    "\nPaper reference: the tailored design (16KB/128B I$, 2KB BP+LBP, 256 BTB)\n\
+     saves 16%% area / 7%% power with no performance loss on HPC code, while\n\
+     desktop (int) workloads refuse to shrink below the baseline.\n"

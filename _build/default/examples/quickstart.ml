@@ -1,0 +1,40 @@
+(* Quickstart: generate one HPC benchmark, run the Pin-style analysis
+   tools over its dynamic trace, and simulate two branch predictors.
+
+     dune exec examples/quickstart.exe *)
+
+module W = Repro_workload
+module A = Repro_analysis
+module F = Repro_frontend
+
+let () =
+  (* 1. Pick a calibrated benchmark profile and build its executable
+        program (a synthetic code image plus an interpreter). *)
+  let profile = W.Suites.find "FT" in
+  let executor = W.Executor.create ~insts:500_000 profile in
+  let trace = W.Executor.trace executor in
+
+  (* 2. Attach "pintools" and run the trace once through all of them. *)
+  let mix = A.Branch_mix.create () in
+  let bias = A.Branch_bias.create () in
+  let small = A.Bp_sim.create (F.Zoo.gshare_small ()) in
+  let small_lbp = A.Bp_sim.create (F.Zoo.with_loop (F.Zoo.gshare_small ())) in
+  A.Tool.run_all trace
+    [ A.Branch_mix.observer mix; A.Branch_bias.observer bias;
+      A.Bp_sim.observer small; A.Bp_sim.observer small_lbp ];
+
+  (* 3. Read the results. *)
+  let total = A.Branch_mix.Total in
+  Printf.printf "benchmark        : %s (%s)\n" profile.name
+    (W.Suite.to_string profile.suite);
+  Printf.printf "instructions     : %d\n" (A.Branch_mix.insts mix total);
+  Printf.printf "branch share     : %.1f%%\n"
+    (100.0 *. A.Branch_mix.branch_fraction mix total);
+  Printf.printf "biased branches  : %.0f%% of dynamic conditionals\n"
+    (100.0 *. A.Branch_bias.biased_fraction bias total);
+  Printf.printf "gshare-2KB MPKI  : %.2f\n" (A.Bp_sim.mpki small total);
+  Printf.printf "  + loop BP MPKI : %.2f\n" (A.Bp_sim.mpki small_lbp total);
+  print_endline
+    "\nThe loop predictor recovers most of the small predictor's losses on\n\
+     loop-dominated HPC code - the core observation behind the paper's\n\
+     tailored front-end."

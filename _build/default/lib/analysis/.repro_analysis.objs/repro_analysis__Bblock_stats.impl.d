@@ -1,0 +1,1 @@
+lib/analysis/bblock_stats.ml: Branch_mix Repro_isa Repro_util

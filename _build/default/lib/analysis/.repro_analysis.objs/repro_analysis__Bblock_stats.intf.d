@@ -1,0 +1,1 @@
+lib/analysis/bblock_stats.mli: Branch_mix Repro_isa

@@ -1,0 +1,1 @@
+lib/analysis/bp_sim.ml: Branch_mix Repro_frontend Repro_isa Tool

@@ -1,0 +1,1 @@
+lib/analysis/branch_bias.ml: Array Branch_mix Float Hashtbl Repro_isa Tool

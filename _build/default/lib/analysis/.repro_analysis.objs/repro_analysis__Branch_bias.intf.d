@@ -1,0 +1,1 @@
+lib/analysis/branch_bias.mli: Branch_mix Repro_isa

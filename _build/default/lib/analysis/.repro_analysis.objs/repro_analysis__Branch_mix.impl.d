@@ -1,0 +1,1 @@
+lib/analysis/branch_mix.ml: List Repro_isa Tool

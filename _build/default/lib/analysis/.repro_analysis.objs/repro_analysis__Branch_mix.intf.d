@@ -1,0 +1,1 @@
+lib/analysis/branch_mix.mli: Repro_isa

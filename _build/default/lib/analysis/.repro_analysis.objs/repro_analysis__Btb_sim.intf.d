@@ -1,0 +1,1 @@
+lib/analysis/btb_sim.mli: Branch_mix Repro_isa

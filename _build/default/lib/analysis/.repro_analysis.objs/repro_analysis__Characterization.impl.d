@@ -1,0 +1,1 @@
+lib/analysis/characterization.ml: Bblock_stats Branch_bias Branch_mix Float Footprint List Repro_util Repro_workload Tool

@@ -1,0 +1,1 @@
+lib/analysis/characterization.mli: Bblock_stats Branch_bias Branch_mix Footprint Repro_isa Repro_workload

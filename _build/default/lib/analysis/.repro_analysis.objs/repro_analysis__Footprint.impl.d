@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Branch_mix Hashtbl Repro_isa Repro_util

@@ -1,0 +1,1 @@
+lib/analysis/footprint.mli: Branch_mix Repro_isa

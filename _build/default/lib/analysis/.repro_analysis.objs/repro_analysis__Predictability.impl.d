@@ -1,0 +1,1 @@
+lib/analysis/predictability.ml: Bool Hashtbl Repro_isa

@@ -1,0 +1,1 @@
+lib/analysis/predictability.mli: Repro_isa

@@ -1,0 +1,1 @@
+lib/analysis/reuse_distance.ml: Array List Printf Repro_isa

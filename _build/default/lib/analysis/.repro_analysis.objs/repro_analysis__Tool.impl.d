@@ -1,0 +1,1 @@
+lib/analysis/tool.ml: Array Repro_isa

@@ -1,0 +1,1 @@
+lib/analysis/tool.mli: Repro_isa

@@ -1,0 +1,1 @@
+lib/analysis/working_set.ml: Branch_mix Float Icache_sim List

@@ -1,0 +1,64 @@
+module Inst = Repro_isa.Inst
+module Section = Repro_isa.Section
+module Acc = Repro_util.Stats.Acc
+
+type side = {
+  blocks : Acc.t;
+  block_insts : Acc.t;
+  runs : Acc.t;
+  mutable cur_bytes : int;
+  mutable cur_insts : int;
+  mutable run_bytes : int;
+}
+
+let side () =
+  { blocks = Acc.create ();
+    block_insts = Acc.create ();
+    runs = Acc.create ();
+    cur_bytes = 0;
+    cur_insts = 0;
+    run_bytes = 0 }
+
+type t = { serial : side; parallel : side }
+
+let create () = { serial = side (); parallel = side () }
+
+let feed t (i : Inst.t) =
+  if i.warmup then ()
+  else
+  let s =
+    match i.section with
+    | Section.Serial -> t.serial
+    | Section.Parallel -> t.parallel
+  in
+  s.cur_bytes <- s.cur_bytes + i.size;
+  s.cur_insts <- s.cur_insts + 1;
+  s.run_bytes <- s.run_bytes + i.size;
+  if Inst.is_branch i then begin
+    Acc.add s.blocks (float_of_int s.cur_bytes);
+    Acc.add s.block_insts (float_of_int s.cur_insts);
+    s.cur_bytes <- 0;
+    s.cur_insts <- 0;
+    if i.taken then begin
+      Acc.add s.runs (float_of_int s.run_bytes);
+      s.run_bytes <- 0
+    end
+  end
+
+let observer t = feed t
+
+let combine f t scope =
+  match scope with
+  | Branch_mix.Only Section.Serial -> Acc.mean (f t.serial)
+  | Branch_mix.Only Section.Parallel -> Acc.mean (f t.parallel)
+  | Branch_mix.Total ->
+      let a = f t.serial and b = f t.parallel in
+      let wa = Acc.total_weight a and wb = Acc.total_weight b in
+      if wa +. wb = 0.0 then nan
+      else
+        let part acc w = if w > 0.0 then Acc.mean acc *. w else 0.0 in
+        (part a wa +. part b wb) /. (wa +. wb)
+
+let avg_block_bytes t scope = combine (fun s -> s.blocks) t scope
+let avg_block_insts t scope = combine (fun s -> s.block_insts) t scope
+let avg_taken_distance t scope = combine (fun s -> s.runs) t scope

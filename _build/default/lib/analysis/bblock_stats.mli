@@ -1,0 +1,16 @@
+(** Dynamic basic-block statistics (paper Fig. 4): average basic-block
+    length in bytes (a block ends at any branch instruction) and
+    average distance in bytes between *taken* branches (the length of
+    a sequential fetch run — what decides I-cache line usefulness). *)
+
+type t
+
+val create : unit -> t
+val feed : t -> Repro_isa.Inst.t -> unit
+val observer : t -> Repro_isa.Inst.t -> unit
+
+val avg_block_bytes : t -> Branch_mix.scope -> float
+val avg_block_insts : t -> Branch_mix.scope -> float
+
+val avg_taken_distance : t -> Branch_mix.scope -> float
+(** Mean bytes between consecutive taken branches. *)

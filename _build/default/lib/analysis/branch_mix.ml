@@ -1,0 +1,92 @@
+module Inst = Repro_isa.Inst
+
+type category =
+  | Call
+  | Indirect_call
+  | Direct_branch
+  | Indirect_branch
+  | Syscall
+  | Return
+
+let categories =
+  [ Call; Indirect_call; Direct_branch; Indirect_branch; Syscall; Return ]
+
+let category_to_string = function
+  | Call -> "call"
+  | Indirect_call -> "indirect call"
+  | Direct_branch -> "direct branch"
+  | Indirect_branch -> "indirect branch"
+  | Syscall -> "syscall"
+  | Return -> "return"
+
+type scope = Total | Only of Repro_isa.Section.t
+
+(* Tallies indexed by [kind] per section. *)
+type t = {
+  insts : Tool.Split.t;
+  cond : Tool.Split.t;
+  uncond : Tool.Split.t;
+  indirect : Tool.Split.t;
+  call : Tool.Split.t;
+  icall : Tool.Split.t;
+  ret : Tool.Split.t;
+  sys : Tool.Split.t;
+}
+
+let create () =
+  { insts = Tool.Split.create ();
+    cond = Tool.Split.create ();
+    uncond = Tool.Split.create ();
+    indirect = Tool.Split.create ();
+    call = Tool.Split.create ();
+    icall = Tool.Split.create ();
+    ret = Tool.Split.create ();
+    sys = Tool.Split.create () }
+
+let feed t (i : Inst.t) =
+  if i.warmup then ()
+  else begin
+  let s = i.section in
+  Tool.Split.incr t.insts s;
+  match i.kind with
+  | Inst.Plain -> ()
+  | Inst.Cond_branch -> Tool.Split.incr t.cond s
+  | Inst.Uncond_direct -> Tool.Split.incr t.uncond s
+  | Inst.Indirect_branch -> Tool.Split.incr t.indirect s
+  | Inst.Call -> Tool.Split.incr t.call s
+  | Inst.Indirect_call -> Tool.Split.incr t.icall s
+  | Inst.Return -> Tool.Split.incr t.ret s
+  | Inst.Syscall -> Tool.Split.incr t.sys s
+  end
+
+let observer t = feed t
+
+let in_scope split scope =
+  match scope with
+  | Total -> Tool.Split.total split
+  | Only s -> Tool.Split.get split s
+
+let insts t scope = in_scope t.insts scope
+
+let count t scope = function
+  | Call -> in_scope t.call scope
+  | Indirect_call -> in_scope t.icall scope
+  | Direct_branch -> in_scope t.cond scope + in_scope t.uncond scope
+  | Indirect_branch -> in_scope t.indirect scope
+  | Syscall -> in_scope t.sys scope
+  | Return -> in_scope t.ret scope
+
+let branches t scope =
+  List.fold_left (fun acc c -> acc + count t scope c) 0 categories
+
+let fraction t scope category =
+  let n = insts t scope in
+  if n = 0 then nan else float_of_int (count t scope category) /. float_of_int n
+
+let branch_fraction t scope =
+  let n = insts t scope in
+  if n = 0 then nan else float_of_int (branches t scope) /. float_of_int n
+
+let conditional_fraction t scope =
+  let n = insts t scope in
+  if n = 0 then nan else float_of_int (in_scope t.cond scope) /. float_of_int n

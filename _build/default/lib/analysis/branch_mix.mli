@@ -1,0 +1,41 @@
+(** Dynamic branch-instruction breakdown (paper Fig. 1): how much of
+    the instruction mix each branch class contributes, split into
+    serial and parallel code sections. *)
+
+type t
+
+val create : unit -> t
+val feed : t -> Repro_isa.Inst.t -> unit
+val observer : t -> Repro_isa.Inst.t -> unit
+
+(** Fig. 1's legend categories. [Direct_branch] merges conditional and
+    unconditional direct branches, as the figure does. *)
+type category =
+  | Call
+  | Indirect_call
+  | Direct_branch
+  | Indirect_branch
+  | Syscall
+  | Return
+
+val categories : category list
+(** In the figure's legend order. *)
+
+val category_to_string : category -> string
+
+(** Scope selector used by every per-section metric in this library:
+    the whole run or one section. *)
+type scope = Total | Only of Repro_isa.Section.t
+
+val insts : t -> scope -> int
+val branches : t -> scope -> int
+
+val fraction : t -> scope -> category -> float
+(** Share of *all instructions* in the scope that fall in the
+    category (the figure's y-axis). [nan] when the scope is empty. *)
+
+val branch_fraction : t -> scope -> float
+(** All branch classes together as a share of instructions. *)
+
+val conditional_fraction : t -> scope -> float
+(** Conditional direct branches as a share of instructions. *)

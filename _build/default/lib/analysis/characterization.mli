@@ -1,0 +1,27 @@
+(** One-pass architecture-independent characterization of a benchmark:
+    bundles the Fig. 1–4 / Table I tools, run over a single execution
+    of the trace, exactly like attaching several pintools to one
+    instrumented run. *)
+
+type t = {
+  name : string;
+  suite : Repro_workload.Suite.t;
+  mix : Branch_mix.t;
+  bias : Branch_bias.t;
+  footprint : Footprint.t;
+  bblocks : Bblock_stats.t;
+}
+
+val of_trace :
+  name:string -> suite:Repro_workload.Suite.t -> Repro_isa.Trace.t -> t
+(** Run all four tools over the trace in one pass. *)
+
+val of_profile : ?insts:int -> Repro_workload.Profile.t -> t
+(** Generate the benchmark's program, execute it, characterize it. *)
+
+(** {1 Aggregation} *)
+
+val suite_mean :
+  t list -> (t -> float) -> float
+(** Arithmetic mean of a metric over benchmarks, skipping [nan]s
+    (a benchmark with no serial instructions has no serial metrics). *)

@@ -1,0 +1,21 @@
+(** Instruction-footprint measurement (paper Fig. 3): the static code
+    size actually touched by the execution, and the amount of memory
+    needed to hold a given coverage (the paper uses 99%) of the
+    dynamic instruction stream. Tracked per static instruction
+    address, separately for serial and parallel sections. *)
+
+type t
+
+val create : unit -> t
+val feed : t -> Repro_isa.Inst.t -> unit
+val observer : t -> Repro_isa.Inst.t -> unit
+
+val static_bytes : t -> Branch_mix.scope -> int
+(** Total encoded bytes of distinct instructions executed in scope. *)
+
+val dynamic_bytes : t -> Branch_mix.scope -> coverage:float -> int
+(** Bytes of the hottest instructions needed to cover the given
+    fraction of dynamic instructions (e.g. [~coverage:0.99]). *)
+
+val static_insts : t -> Branch_mix.scope -> int
+(** Distinct instruction addresses executed in scope. *)

@@ -1,0 +1,45 @@
+module Inst = Repro_isa.Inst
+
+type t = {
+  hist_bits : int;
+  mutable hist : int;
+  pairs : (int, unit) Hashtbl.t;
+  sites : (int, unit) Hashtbl.t;
+  hists : (int, unit) Hashtbl.t;
+  mutable conds : int;
+}
+
+let create ?(hist_bits = 16) () =
+  if hist_bits < 1 || hist_bits > 24 then invalid_arg "Predictability.create";
+  { hist_bits;
+    hist = 0;
+    pairs = Hashtbl.create (1 lsl 16);
+    sites = Hashtbl.create 4096;
+    hists = Hashtbl.create 4096;
+    conds = 0 }
+
+let feed t (i : Inst.t) =
+  if (not i.warmup) && i.kind = Inst.Cond_branch then begin
+    t.conds <- t.conds + 1;
+    let key = (i.addr lsl t.hist_bits) lor t.hist in
+    if not (Hashtbl.mem t.pairs key) then Hashtbl.add t.pairs key ();
+    if not (Hashtbl.mem t.sites i.addr) then Hashtbl.add t.sites i.addr ();
+    if not (Hashtbl.mem t.hists t.hist) then Hashtbl.add t.hists t.hist ();
+    t.hist <-
+      ((t.hist lsl 1) lor Bool.to_int i.taken) land ((1 lsl t.hist_bits) - 1)
+  end
+
+let observer t = feed t
+let conditionals t = t.conds
+let distinct_sites t = Hashtbl.length t.sites
+let distinct_histories t = Hashtbl.length t.hists
+let distinct_pairs t = Hashtbl.length t.pairs
+
+let novelty_rate t =
+  if t.conds = 0 then nan
+  else float_of_int (distinct_pairs t) /. float_of_int t.conds
+
+let pairs_per_site t =
+  let sites = distinct_sites t in
+  if sites = 0 then nan
+  else float_of_int (distinct_pairs t) /. float_of_int sites

@@ -1,0 +1,31 @@
+(** Predictability analysis: how learnable a conditional-branch stream
+    is for history-based predictors, independent of any particular
+    predictor.
+
+    Tracks the distinct [(site, k-bit global history)] pairs seen. The
+    *novelty rate* — the share of dynamic conditionals executing under
+    a first-time pair — lower-bounds any history predictor's cold
+    misses at this trace length and measures the history entropy that
+    table-based predictors must absorb (the quantity the DESIGN.md
+    path-correlation model exists to bound). *)
+
+type t
+
+val create : ?hist_bits:int -> unit -> t
+(** Default 16 history bits (gshare-big's reach). *)
+
+val feed : t -> Repro_isa.Inst.t -> unit
+val observer : t -> Repro_isa.Inst.t -> unit
+
+val conditionals : t -> int
+val distinct_sites : t -> int
+val distinct_histories : t -> int
+(** Distinct k-bit global history values observed. *)
+
+val distinct_pairs : t -> int
+val novelty_rate : t -> float
+(** [distinct_pairs / conditionals]; 0 = perfectly repetitive,
+    1 = every execution is novel (unlearnable at this length). *)
+
+val pairs_per_site : t -> float
+(** Mean history patterns per static site (table-pressure proxy). *)

@@ -1,0 +1,117 @@
+module Inst = Repro_isa.Inst
+
+(* Recency list of block leaders, most recent first; the stack
+   distance of a re-executed block is the number of distinct blocks in
+   front of it. A doubly-linked list keyed by a hashtable would be
+   O(1) amortized for moves but still O(distance) for counting, so we
+   keep the simple array-backed list: bounded, cache-friendly, and the
+   distances of interest (the paper's 1–2-block reuse) sit at the
+   front. *)
+type t = {
+  max_tracked : int;
+  mutable stack : int list; (* block leaders, most recent first *)
+  mutable stack_len : int;
+  mutable current_leader : int; (* leader of the block being executed *)
+  mutable in_block : bool;
+  buckets : float array; (* log2 buckets + cold *)
+  mutable execs : int;
+  mutable distances_seen : int;
+}
+
+let n_buckets = 14 (* 0-1, 2-3, 4-7, ..., 2^12.., cold/far *)
+
+let create ?(max_tracked = 4096) () =
+  if max_tracked < 2 then invalid_arg "Reuse_distance.create";
+  { max_tracked;
+    stack = [];
+    stack_len = 0;
+    current_leader = -1;
+    in_block = false;
+    buckets = Array.make n_buckets 0.0;
+    execs = 0;
+    distances_seen = 0 }
+
+let bucket_of_distance d =
+  if d <= 1 then 0
+  else begin
+    let rec go b lo = if d < lo * 2 then b else go (b + 1) (lo * 2) in
+    min (n_buckets - 2) (go 1 2)
+  end
+
+let bucket_label i =
+  if i = n_buckets - 1 then "cold/far"
+  else if i = 0 then "0-1"
+  else Printf.sprintf "%d-%d" (1 lsl i) ((1 lsl (i + 1)) - 1)
+
+(* Record one block execution. *)
+let block_executed t leader =
+  t.execs <- t.execs + 1;
+  (* Find the leader in the recency stack, counting its depth. *)
+  let rec remove acc depth = function
+    | [] -> None
+    | x :: rest when x = leader -> Some (depth, List.rev_append acc rest)
+    | x :: rest -> remove (x :: acc) (depth + 1) rest
+  in
+  (match remove [] 0 t.stack with
+  | Some (depth, rest) ->
+      t.distances_seen <- t.distances_seen + 1;
+      t.buckets.(bucket_of_distance depth) <-
+        t.buckets.(bucket_of_distance depth) +. 1.0;
+      t.stack <- leader :: rest
+  | None ->
+      t.buckets.(n_buckets - 1) <- t.buckets.(n_buckets - 1) +. 1.0;
+      t.stack <- leader :: t.stack;
+      t.stack_len <- t.stack_len + 1;
+      if t.stack_len > t.max_tracked then begin
+        (* Drop the coldest entry. *)
+        t.stack <- List.filteri (fun i _ -> i < t.max_tracked) t.stack;
+        t.stack_len <- t.max_tracked
+      end)
+
+let feed t (i : Inst.t) =
+  if i.warmup then ()
+  else begin
+    if not t.in_block then begin
+      t.current_leader <- i.addr;
+      t.in_block <- true
+    end;
+    if Inst.is_branch i then begin
+      block_executed t t.current_leader;
+      t.in_block <- false
+    end
+  end
+
+let observer t = feed t
+let executions t = t.execs
+
+let histogram t =
+  let total = Array.fold_left ( +. ) 0.0 t.buckets in
+  if total = 0.0 then []
+  else
+    List.init n_buckets (fun i -> (bucket_label i, t.buckets.(i) /. total))
+
+let median_distance t =
+  if t.distances_seen = 0 then nan
+  else begin
+    let half = float_of_int t.distances_seen /. 2.0 in
+    let rec go i acc =
+      if i >= n_buckets - 1 then infinity
+      else
+        let acc' = acc +. t.buckets.(i) in
+        if acc' >= half then
+          (* midpoint of the bucket *)
+          if i = 0 then 1.0
+          else float_of_int ((1 lsl i) + ((1 lsl (i + 1)) - 1)) /. 2.0
+        else go (i + 1) acc'
+    in
+    go 0 0.0
+  end
+
+let short_reuse_fraction t =
+  let total = Array.fold_left ( +. ) 0.0 t.buckets in
+  if total = 0.0 then nan
+  else
+    (* distance <= 2: bucket 0 entirely, bucket 1 partially — count
+       buckets 0 and 1 (distances 0-3) as "short", matching the
+       paper's loose "one to two basic blocks". *)
+    (t.buckets.(0) +. t.buckets.(1)) /. total

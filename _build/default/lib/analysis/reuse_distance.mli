@@ -1,0 +1,33 @@
+(** Basic-block reuse distance (paper Section III-C): for each dynamic
+    basic block, how many *distinct other blocks* executed since its
+    previous execution. The paper observes that short-block HPC codes
+    (CoHMM, CoSP, botsspar, CG, IS) re-execute blocks "with a reuse
+    distance between one and two basic blocks", which is why a wide
+    I-cache line keeps serving them like a prefetch buffer.
+
+    Blocks are identified by their leader address (the first
+    instruction after a branch). Distances are bucketed in powers of
+    two; the exact stack-distance computation uses a bounded recency
+    list (distances above the bound saturate into the last bucket). *)
+
+type t
+
+val create : ?max_tracked:int -> unit -> t
+(** [max_tracked] bounds the recency list (default 4096 blocks). *)
+
+val feed : t -> Repro_isa.Inst.t -> unit
+val observer : t -> Repro_isa.Inst.t -> unit
+
+val executions : t -> int
+(** Dynamic basic-block executions observed (after warmup). *)
+
+val histogram : t -> (string * float) list
+(** [(bucket label, fraction)] over reuse distances: "0-1", "2-3",
+    "4-7", …, "cold/far". Fractions sum to 1 (empty -> []). *)
+
+val median_distance : t -> float
+(** Median reuse distance ([nan] if nothing re-executed). *)
+
+val short_reuse_fraction : t -> float
+(** Share of block executions with reuse distance <= 2 — the paper's
+    "one to two basic blocks" population. *)

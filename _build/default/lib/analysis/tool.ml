@@ -1,0 +1,31 @@
+let run trace f = Repro_isa.Trace.iter trace f
+
+let run_all trace observers =
+  match observers with
+  | [] -> ()
+  | [ f ] -> Repro_isa.Trace.iter trace f
+  | fs ->
+      let arr = Array.of_list fs in
+      Repro_isa.Trace.iter trace (fun inst ->
+          for i = 0 to Array.length arr - 1 do
+            arr.(i) inst
+          done)
+
+module Split = struct
+  type t = { mutable serial : int; mutable parallel : int }
+
+  let create () = { serial = 0; parallel = 0 }
+
+  let add t section n =
+    match section with
+    | Repro_isa.Section.Serial -> t.serial <- t.serial + n
+    | Repro_isa.Section.Parallel -> t.parallel <- t.parallel + n
+
+  let incr t section = add t section 1
+
+  let get t = function
+    | Repro_isa.Section.Serial -> t.serial
+    | Repro_isa.Section.Parallel -> t.parallel
+
+  let total t = t.serial + t.parallel
+end

@@ -1,0 +1,22 @@
+(** Analysis-tool plumbing: the moral equivalent of running several
+    pintools over one instrumented execution. Each tool is an
+    [Inst.t -> unit] observer; {!run_all} drives a trace through many
+    observers in a single pass, which matters because trace generation
+    dominates runtime. *)
+
+val run : Repro_isa.Trace.t -> (Repro_isa.Inst.t -> unit) -> unit
+(** Single-observer convenience (same as [Trace.iter]). *)
+
+val run_all : Repro_isa.Trace.t -> (Repro_isa.Inst.t -> unit) list -> unit
+(** One pass, observers called in list order per instruction. *)
+
+(** Per-section tallies many tools need. *)
+module Split : sig
+  type t = { mutable serial : int; mutable parallel : int }
+
+  val create : unit -> t
+  val incr : t -> Repro_isa.Section.t -> unit
+  val add : t -> Repro_isa.Section.t -> int -> unit
+  val get : t -> Repro_isa.Section.t -> int
+  val total : t -> int
+end

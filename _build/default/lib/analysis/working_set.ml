@@ -1,0 +1,33 @@
+type t = { rungs : (int * Icache_sim.t) list }
+
+let default_sizes =
+  [ 2048; 4096; 8192; 16384; 32768; 65536; 131072 ]
+
+let create ?(sizes = default_sizes) ?(line_bytes = 64) ?(assoc = 4) () =
+  if sizes = [] then invalid_arg "Working_set.create: no sizes";
+  let sorted = List.sort_uniq compare sizes in
+  { rungs =
+      List.map
+        (fun s ->
+          (s, Icache_sim.create ~size_bytes:s ~line_bytes ~assoc ()))
+        sorted }
+
+let feed t inst = List.iter (fun (_, sim) -> Icache_sim.feed sim inst) t.rungs
+let observer t = feed t
+
+let curve t =
+  List.map (fun (s, sim) -> (s, Icache_sim.mpki sim Branch_mix.Total)) t.rungs
+
+let knee t ?(threshold = 0.5) () =
+  let c = curve t in
+  match List.rev c with
+  | [] | [ _ ] -> None
+  | (_, best) :: _ ->
+      if Float.is_nan best then None
+      else
+        List.find_map
+          (fun (size, mpki) ->
+            if (not (Float.is_nan mpki)) && mpki <= best +. threshold then
+              Some size
+            else None)
+          c

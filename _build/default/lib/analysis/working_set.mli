@@ -1,0 +1,23 @@
+(** Instruction working-set curves: I-cache miss rate as a function of
+    cache size, computed by simulating a ladder of caches in one trace
+    pass. Generalizes the three sizes of the paper's Fig. 8 into a
+    full curve and locates its knee (the benchmark's effective
+    instruction working set — the quantity that decides whether a
+    16KB tailored I-cache is safe). *)
+
+type t
+
+val create :
+  ?sizes:int list -> ?line_bytes:int -> ?assoc:int -> unit -> t
+(** Defaults: sizes 2KB..128KB in powers of two, 64B lines, 4-way. *)
+
+val feed : t -> Repro_isa.Inst.t -> unit
+val observer : t -> Repro_isa.Inst.t -> unit
+
+val curve : t -> (int * float) list
+(** [(size_bytes, total MPKI)] per ladder rung, ascending size. *)
+
+val knee : t -> ?threshold:float -> unit -> int option
+(** Smallest size whose MPKI is within [threshold] (default 0.5 MPKI)
+    of the largest simulated cache's MPKI. [None] before any
+    instruction or if even the largest cache misses the bound. *)

@@ -1,0 +1,1 @@
+lib/core/ablation.mli: Repro_uarch Repro_util Repro_workload

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Float Hashtbl List Paper_data Printf Repro_analysis Repro_frontend Repro_isa Repro_uarch Repro_util Repro_workload String

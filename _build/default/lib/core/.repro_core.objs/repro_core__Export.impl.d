@@ -1,0 +1,1 @@
+lib/core/export.ml: Experiment Filename Fun List Printf Repro_util Sys

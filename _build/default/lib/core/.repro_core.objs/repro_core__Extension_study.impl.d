@@ -1,0 +1,1 @@
+lib/core/extension_study.ml: Float List Printf Repro_analysis Repro_frontend Repro_util Repro_workload

@@ -1,0 +1,1 @@
+lib/core/extension_study.mli: Repro_util

@@ -1,0 +1,1 @@
+lib/core/rebalance.mli: Repro_uarch Repro_workload

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Experiment List Printf Repro_util String

@@ -1,0 +1,1 @@
+lib/core/thread_scaling.ml: Float List Printf Repro_uarch Repro_util Repro_workload

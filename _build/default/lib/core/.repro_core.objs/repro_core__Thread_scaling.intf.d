@@ -1,0 +1,1 @@
+lib/core/thread_scaling.mli: Repro_util Repro_workload

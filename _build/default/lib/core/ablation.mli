@@ -1,0 +1,32 @@
+(** Ablation study of the tailored front-end: which of the three
+    downsized structures contributes how much of the area/power
+    saving, and which costs how much performance, on a given workload
+    set. DESIGN.md calls out the three sizing decisions (I-cache
+    16KB/128B, BP 2KB+LBP, BTB 256); this isolates each. *)
+
+type variant = {
+  vname : string;
+  config : Repro_uarch.Frontend_config.t;
+}
+
+val variants : variant list
+(** Baseline, the three single-structure downsizings, the three
+    pairwise combinations leaving one structure at baseline size, and
+    the full tailored design. *)
+
+type row = {
+  variant : variant;
+  area_mm2 : float;
+  power_w : float;
+  area_saving : float;  (** vs baseline core *)
+  power_saving : float;
+  avg_slowdown : float;  (** mean single-core time ratio vs baseline *)
+  worst_slowdown : float;
+}
+
+val run :
+  ?insts:int -> Repro_workload.Profile.t list -> row list
+(** Measure every variant over the workloads (one trace pass per
+    workload, shared across variants). *)
+
+val table : row list -> Repro_util.Table.t

@@ -1,0 +1,762 @@
+module A = Repro_analysis
+module W = Repro_workload
+module U = Repro_uarch
+module F = Repro_frontend
+module Table = Repro_util.Table
+module Suite = W.Suite
+
+type id =
+  | Fig1
+  | Fig2
+  | Tab1
+  | Fig3
+  | Fig4
+  | Fig5
+  | Fig6
+  | Fig7
+  | Fig8
+  | Fig9
+  | Tab2
+  | Tab3
+  | Fig10
+  | Fig11
+
+let all =
+  [ Fig1; Fig2; Tab1; Fig3; Fig4; Fig5; Fig6; Fig7; Fig8; Fig9; Tab2; Tab3;
+    Fig10; Fig11 ]
+
+let to_string = function
+  | Fig1 -> "fig1"
+  | Fig2 -> "fig2"
+  | Tab1 -> "tab1"
+  | Fig3 -> "fig3"
+  | Fig4 -> "fig4"
+  | Fig5 -> "fig5"
+  | Fig6 -> "fig6"
+  | Fig7 -> "fig7"
+  | Fig8 -> "fig8"
+  | Fig9 -> "fig9"
+  | Tab2 -> "tab2"
+  | Tab3 -> "tab3"
+  | Fig10 -> "fig10"
+  | Fig11 -> "fig11"
+
+let of_string s =
+  List.find_opt (fun id -> String.equal (to_string id) s) all
+
+let describe = function
+  | Fig1 -> "Dynamic branch instruction breakdown per suite (% of instructions)"
+  | Fig2 -> "Distribution of conditional-branch directions (bias deciles)"
+  | Tab1 -> "Backward vs forward taken conditional branches"
+  | Fig3 -> "Static instruction footprint and 99%-dynamic footprint"
+  | Fig4 -> "Average basic-block length and distance between taken branches"
+  | Fig5 -> "Branch MPKI for nine predictor configurations"
+  | Fig6 -> "Branch MPKI breakdown by mispredicted outcome (gshare)"
+  | Fig7 -> "BTB MPKI across entry counts and associativities"
+  | Fig8 -> "I-cache MPKI across sizes and associativities (64B lines)"
+  | Fig9 -> "I-cache MPKI across line widths (16KB)"
+  | Tab2 -> "Branch-predictor size parameters and hardware budgets"
+  | Tab3 -> "Front-end structure shares of core area and power"
+  | Fig10 -> "CMP execution time, power, energy and ED per suite"
+  | Fig11 -> "Per-benchmark normalized CMP execution time"
+
+(* ------------------------------------------------------------------ *)
+(* Memoized measurements *)
+
+let characterizations : (string * float, A.Characterization.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let scaled_insts (p : W.Profile.t) scale =
+  max 50_000 (int_of_float (float_of_int p.total_insts *. scale))
+
+let characterize scale (p : W.Profile.t) =
+  let key = (p.name, scale) in
+  match Hashtbl.find_opt characterizations key with
+  | Some c -> c
+  | None ->
+      let c = A.Characterization.of_profile ~insts:(scaled_insts p scale) p in
+      Hashtbl.add characterizations key c;
+      c
+
+let cmp_evals :
+    (string * float, (U.Cmp.config * U.Cmp.eval) list) Hashtbl.t =
+  Hashtbl.create 64
+
+let evaluate_cmps scale (p : W.Profile.t) =
+  let key = (p.name, scale) in
+  match Hashtbl.find_opt cmp_evals key with
+  | Some e -> e
+  | None ->
+      let evals =
+        U.Cmp.evaluate_many ~insts:(scaled_insts p scale)
+          U.Cmp.standard_configs p
+      in
+      let tagged = List.combine U.Cmp.standard_configs evals in
+      Hashtbl.add cmp_evals key tagged;
+      tagged
+
+let clear_cache () =
+  Hashtbl.reset characterizations;
+  Hashtbl.reset cmp_evals
+
+(* ------------------------------------------------------------------ *)
+(* Helpers *)
+
+let serial = A.Branch_mix.Only Repro_isa.Section.Serial
+let parallel = A.Branch_mix.Only Repro_isa.Section.Parallel
+let total = A.Branch_mix.Total
+
+let suite_results scale suite =
+  List.map (characterize scale) (W.Suites.by_suite suite)
+
+let mean = A.Characterization.suite_mean
+let pct x = x *. 100.0
+let f1 = Table.fmt_float ~decimals:1
+let f2 = Table.fmt_float ~decimals:2
+
+let paper_of assoc suite =
+  match List.find_opt (fun (s, _, _) -> Suite.equal s suite) assoc with
+  | Some (_, v, _) -> v
+  | None -> nan
+
+(* Per-suite, per-scope metric table with a paper column. *)
+let scoped_table ~title ~metric ~paper scale =
+  let t =
+    Table.create ~title
+      [ ("suite", Table.Left); ("total", Table.Right); ("serial", Table.Right);
+        ("parallel", Table.Right); ("paper(total)", Table.Right) ]
+  in
+  List.iter
+    (fun suite ->
+      let rs = suite_results scale suite in
+      Table.add_row t
+        [ Suite.to_string suite;
+          f1 (mean rs (metric total));
+          f1 (mean rs (metric serial));
+          (if Suite.is_hpc suite then f1 (mean rs (metric parallel)) else "-");
+          f1 (paper suite) ])
+    Suite.all;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Fig 1 *)
+
+let fig1 scale =
+  let breakdown =
+    Table.create ~title:"Fig 1: dynamic branch breakdown [% of instructions]"
+      ([ ("suite", Table.Left); ("scope", Table.Left) ]
+      @ List.map
+          (fun c -> (A.Branch_mix.category_to_string c, Table.Right))
+          A.Branch_mix.categories
+      @ [ ("all branches", Table.Right) ])
+  in
+  List.iter
+    (fun suite ->
+      let rs = suite_results scale suite in
+      let scopes =
+        if Suite.is_hpc suite then
+          [ ("total", total); ("serial", serial); ("parallel", parallel) ]
+        else [ ("total", total) ]
+      in
+      List.iter
+        (fun (label, scope) ->
+          Table.add_row breakdown
+            ([ Suite.to_string suite; label ]
+            @ List.map
+                (fun c ->
+                  f2
+                    (pct
+                       (mean rs (fun r ->
+                            A.Branch_mix.fraction r.A.Characterization.mix
+                              scope c))))
+                A.Branch_mix.categories
+            @ [ f1
+                  (pct
+                     (mean rs (fun r ->
+                          A.Branch_mix.branch_fraction
+                            r.A.Characterization.mix scope))) ]))
+        scopes;
+      Table.add_separator breakdown)
+    Suite.all;
+  let vs_paper =
+    scoped_table ~title:"Fig 1 (summary): branch share [%] vs paper"
+      ~metric:(fun scope r ->
+        pct (A.Branch_mix.branch_fraction r.A.Characterization.mix scope))
+      ~paper:(paper_of Paper_data.fig1_branch_pct)
+      scale
+  in
+  [ breakdown; vs_paper ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 2 *)
+
+let fig2 scale =
+  let t =
+    Table.create
+      ~title:
+        "Fig 2: distribution of conditional-branch bias [% of dynamic \
+         conditionals per taken-rate decile]"
+      ([ ("suite", Table.Left); ("scope", Table.Left) ]
+      @ List.init 10 (fun i ->
+            (Printf.sprintf "%d-%d%%" (i * 10) ((i + 1) * 10), Table.Right))
+      @ [ ("biased", Table.Right); ("paper", Table.Right) ])
+  in
+  List.iter
+    (fun suite ->
+      let rs = suite_results scale suite in
+      let scopes =
+        if Suite.is_hpc suite then
+          [ ("total", total); ("serial", serial); ("parallel", parallel) ]
+        else [ ("total", total) ]
+      in
+      List.iter
+        (fun (label, scope) ->
+          let decile i =
+            mean rs (fun r ->
+                (A.Branch_bias.deciles r.A.Characterization.bias scope).(i))
+          in
+          Table.add_row t
+            ([ Suite.to_string suite; label ]
+            @ List.init 10 (fun i -> f1 (pct (decile i)))
+            @ [ f1
+                  (pct
+                     (mean rs (fun r ->
+                          A.Branch_bias.biased_fraction
+                            r.A.Characterization.bias scope)));
+                (if label = "total" then
+                   f1 (paper_of Paper_data.fig2_biased_pct suite)
+                 else "") ]))
+        scopes;
+      Table.add_separator t)
+    Suite.all;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Table I *)
+
+let tab1 scale =
+  let t =
+    Table.create
+      ~title:"Table I: backward vs forward taken conditional branches [%]"
+      [ ("suite", Table.Left); ("serial bwd", Table.Right);
+        ("serial fwd", Table.Right); ("parallel bwd", Table.Right);
+        ("parallel fwd", Table.Right); ("paper (bwd s/p)", Table.Right) ]
+  in
+  List.iter
+    (fun suite ->
+      let rs = suite_results scale suite in
+      let bwd scope =
+        pct
+          (mean rs (fun r ->
+               A.Branch_bias.backward_taken_fraction r.A.Characterization.bias
+                 scope))
+      in
+      let paper_s, paper_p =
+        match
+          List.find_opt
+            (fun (s, _, _) -> Suite.equal s suite)
+            Paper_data.tab1_backward_pct
+        with
+        | Some (_, s, p) -> (s, p)
+        | None -> (None, None)
+      in
+      let show = function Some v -> f1 v | None -> "-" in
+      if Suite.is_hpc suite then
+        Table.add_row t
+          [ Suite.to_string suite; f1 (bwd serial); f1 (100.0 -. bwd serial);
+            f1 (bwd parallel); f1 (100.0 -. bwd parallel);
+            Printf.sprintf "%s / %s" (show paper_s) (show paper_p) ]
+      else
+        Table.add_row t
+          [ Suite.to_string suite; f1 (bwd total); f1 (100.0 -. bwd total);
+            "-"; "-"; show paper_s ])
+    Suite.all;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 3 *)
+
+let fig3 scale =
+  let t =
+    Table.create
+      ~title:"Fig 3: instruction footprints [KB]"
+      [ ("suite", Table.Left); ("static", Table.Right);
+        ("99% dyn total", Table.Right); ("99% dyn serial", Table.Right);
+        ("99% dyn parallel", Table.Right); ("paper static", Table.Right) ]
+  in
+  List.iter
+    (fun suite ->
+      let rs = suite_results scale suite in
+      let kb f = mean rs (fun r -> float_of_int (f r) /. 1024.0) in
+      Table.add_row t
+        [ Suite.to_string suite;
+          f1 (kb (fun r -> A.Footprint.static_bytes r.A.Characterization.footprint total));
+          f1 (kb (fun r ->
+                 A.Footprint.dynamic_bytes r.A.Characterization.footprint total
+                   ~coverage:0.99));
+          f1 (kb (fun r ->
+                 A.Footprint.dynamic_bytes r.A.Characterization.footprint serial
+                   ~coverage:0.99));
+          (if Suite.is_hpc suite then
+             f1 (kb (fun r ->
+                     A.Footprint.dynamic_bytes r.A.Characterization.footprint
+                       parallel ~coverage:0.99))
+           else "-");
+          f1 (paper_of Paper_data.fig3_static_kb suite) ])
+    Suite.all;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 4 *)
+
+let fig4 scale =
+  let bbl =
+    scoped_table ~title:"Fig 4a: average basic-block length [bytes]"
+      ~metric:(fun scope r ->
+        A.Bblock_stats.avg_block_bytes r.A.Characterization.bblocks scope)
+      ~paper:(paper_of Paper_data.fig4_bbl_bytes)
+      scale
+  in
+  let dist =
+    scoped_table
+      ~title:"Fig 4b: average distance between taken branches [bytes]"
+      ~metric:(fun scope r ->
+        A.Bblock_stats.avg_taken_distance r.A.Characterization.bblocks scope)
+      ~paper:(fun _ -> nan)
+      scale
+  in
+  [ bbl; dist ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5 *)
+
+let fig5_suite_mpki scale suite =
+  let profiles = W.Suites.by_suite suite in
+  let per_bench =
+    List.map
+      (fun (p : W.Profile.t) ->
+        let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+        let sims =
+          List.map (fun n -> A.Bp_sim.create (F.Zoo.by_name n)) F.Zoo.all_names
+        in
+        A.Tool.run_all (W.Executor.trace ex) (List.map A.Bp_sim.observer sims);
+        sims)
+      profiles
+  in
+  List.mapi
+    (fun i name ->
+      let values =
+        List.filter_map
+          (fun sims ->
+            let v = A.Bp_sim.mpki (List.nth sims i) total in
+            if Float.is_nan v then None else Some v)
+          per_bench
+      in
+      (name, Repro_util.Stats.mean values))
+    F.Zoo.all_names
+
+let fig5 scale =
+  let t =
+    Table.create ~title:"Fig 5: branch MPKI per predictor configuration"
+      ([ ("suite", Table.Left) ]
+      @ List.map (fun n -> (n, Table.Right)) F.Zoo.all_names)
+  in
+  List.iter
+    (fun suite ->
+      let measured = fig5_suite_mpki scale suite in
+      Table.add_row t
+        (Suite.to_string suite
+        :: List.map (fun (_, v) -> f2 v) measured);
+      let paper =
+        List.assoc_opt suite
+          (List.map (fun (s, l) -> (s, l)) Paper_data.fig5_mpki)
+      in
+      match paper with
+      | None -> ()
+      | Some l ->
+          Table.add_row t
+            ("  (paper, chart-read)"
+            :: List.map
+                 (fun n ->
+                   match List.assoc_opt n l with
+                   | Some v -> f1 v
+                   | None -> "-")
+                 F.Zoo.all_names))
+    Suite.all;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6 *)
+
+let fig6 scale =
+  let configs =
+    [ ("gshare-big", fun () -> F.Zoo.gshare_big ());
+      ("gshare-small", fun () -> F.Zoo.gshare_small ());
+      ("L-gshare-small", fun () -> F.Zoo.with_loop (F.Zoo.gshare_small ())) ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "Fig 6: branch MPKI breakdown for gshare (misses on not-taken / \
+         taken-backward / taken-forward)"
+      ([ ("benchmark", Table.Left) ]
+      @ List.concat_map
+          (fun (n, _) ->
+            [ (n ^ " nt", Table.Right); (n ^ " tb", Table.Right);
+              (n ^ " tf", Table.Right) ])
+          configs)
+  in
+  List.iter
+    (fun name ->
+      let p = W.Suites.find name in
+      let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+      let sims = List.map (fun (_, mk) -> A.Bp_sim.create (mk ())) configs in
+      A.Tool.run_all (W.Executor.trace ex) (List.map A.Bp_sim.observer sims);
+      Table.add_row t
+        (name
+        :: List.concat_map
+             (fun sim ->
+               List.map
+                 (fun cause -> f2 (A.Bp_sim.mpki_by_cause sim total cause))
+                 A.Bp_sim.causes)
+             sims))
+    W.Suites.fig6_subset;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7 *)
+
+let btb_configs =
+  List.concat_map
+    (fun entries -> List.map (fun assoc -> (entries, assoc)) [ 2; 4; 8 ])
+    [ 256; 512; 1024 ]
+
+let fig7 scale =
+  let t =
+    Table.create ~title:"Fig 7: BTB MPKI (entries x associativity)"
+      ([ ("suite", Table.Left) ]
+      @ List.map
+          (fun (e, a) -> (Printf.sprintf "%de/%dw" e a, Table.Right))
+          btb_configs)
+  in
+  List.iter
+    (fun suite ->
+      let profiles = W.Suites.by_suite suite in
+      let per_bench =
+        List.map
+          (fun (p : W.Profile.t) ->
+            let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+            let sims =
+              List.map
+                (fun (e, a) -> A.Btb_sim.create ~entries:e ~assoc:a)
+                btb_configs
+            in
+            A.Tool.run_all (W.Executor.trace ex)
+              (List.map A.Btb_sim.observer sims);
+            sims)
+          profiles
+      in
+      Table.add_row t
+        (Suite.to_string suite
+        :: List.mapi
+             (fun i _ ->
+               let values =
+                 List.filter_map
+                   (fun sims ->
+                     let v = A.Btb_sim.mpki (List.nth sims i) total in
+                     if Float.is_nan v then None else Some v)
+                   per_bench
+               in
+               f2 (Repro_util.Stats.mean values))
+             btb_configs))
+    Suite.all;
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 8 / Fig 9 *)
+
+let icache_table ~title ~configs ~benchmarks scale per_suite =
+  let t =
+    Table.create ~title
+      ([ ((if per_suite then "suite" else "benchmark"), Table.Left) ]
+      @ List.map
+          (fun (s, l, a) ->
+            (Printf.sprintf "%dK/%dB/%dw" (s / 1024) l a, Table.Right))
+          configs)
+  in
+  let run_one (p : W.Profile.t) =
+    let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+    let sims =
+      List.map
+        (fun (s, l, a) ->
+          A.Icache_sim.create ~size_bytes:s ~line_bytes:l ~assoc:a ())
+        configs
+    in
+    A.Tool.run_all (W.Executor.trace ex) (List.map A.Icache_sim.observer sims);
+    sims
+  in
+  if per_suite then
+    List.iter
+      (fun suite ->
+        let per_bench = List.map run_one (W.Suites.by_suite suite) in
+        Table.add_row t
+          (Suite.to_string suite
+          :: List.mapi
+               (fun i _ ->
+                 let values =
+                   List.filter_map
+                     (fun sims ->
+                       let v = A.Icache_sim.mpki (List.nth sims i) total in
+                       if Float.is_nan v then None else Some v)
+                     per_bench
+                 in
+                 f2 (Repro_util.Stats.mean values))
+               configs))
+      Suite.all
+  else
+    List.iter
+      (fun name ->
+        let sims = run_one (W.Suites.find name) in
+        Table.add_row t
+          (name :: List.map (fun s -> f2 (A.Icache_sim.mpki s total)) sims))
+      benchmarks;
+  t
+
+let fig8 scale =
+  let configs =
+    List.concat_map
+      (fun size -> List.map (fun a -> (size, 64, a)) [ 2; 4; 8 ])
+      [ 8192; 16384; 32768 ]
+  in
+  [ icache_table ~title:"Fig 8: I-cache MPKI (64B lines)" ~configs
+      ~benchmarks:[] scale true ]
+
+let fig9 scale =
+  let configs =
+    List.concat_map
+      (fun line -> List.map (fun a -> (16384, line, a)) [ 2; 4; 8 ])
+      [ 32; 64; 128 ]
+  in
+  let mpki_tbl =
+    icache_table ~title:"Fig 9: I-cache MPKI across line widths (16KB)"
+      ~configs ~benchmarks:W.Suites.fig9_subset scale false
+  in
+  (* Line usefulness, paper Section IV-C *)
+  let useful =
+    Table.create ~title:"Fig 9 (companion): 128B-line usefulness"
+      [ ("suite", Table.Left); ("usefulness", Table.Right);
+        ("paper", Table.Right) ]
+  in
+  List.iter
+    (fun suite ->
+      let values =
+        List.filter_map
+          (fun (p : W.Profile.t) ->
+            let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+            let sim =
+              A.Icache_sim.create ~size_bytes:16384 ~line_bytes:128 ~assoc:8 ()
+            in
+            A.Tool.run_all (W.Executor.trace ex) [ A.Icache_sim.observer sim ];
+            let v = A.Icache_sim.usefulness sim in
+            if Float.is_nan v then None else Some v)
+          (W.Suites.by_suite suite)
+      in
+      Table.add_row useful
+        [ Suite.to_string suite;
+          Table.fmt_pct (Repro_util.Stats.mean values);
+          (if Suite.is_hpc suite then
+             Table.fmt_pct Paper_data.fig9_line_usefulness_hpc
+           else Table.fmt_pct Paper_data.fig9_line_usefulness_int) ])
+    Suite.all;
+  [ mpki_tbl; useful ]
+
+(* ------------------------------------------------------------------ *)
+(* Table II *)
+
+let tab2 () =
+  let t =
+    Table.create
+      ~title:"Table II: predictor size parameters and hardware budgets"
+      [ ("predictor", Table.Left); ("parameters", Table.Left);
+        ("budget", Table.Right); ("paper target", Table.Right) ]
+  in
+  let row name params maker target =
+    let p : F.Predictor.t = maker () in
+    Table.add_row t
+      [ name; params;
+        Repro_util.Units.pp_bytes (F.Predictor.storage_bytes p); target ]
+  in
+  row "gshare-small" "m=13" F.Zoo.gshare_small "~2KB";
+  row "gshare-big" "m=16" F.Zoo.gshare_big "~16KB";
+  row "tournament-small" "n=10, m=8" F.Zoo.tournament_small "~2KB";
+  row "tournament-big" "n=12, m=14" F.Zoo.tournament_big "~16KB";
+  row "tage-small" "2 tables, h=4,16" F.Zoo.tage_small "~2KB";
+  row "tage-big" "12 tables, h=4..640" F.Zoo.tage_big "~16KB";
+  row "loop predictor" "64 entries"
+    (fun () ->
+      let lbp = F.Loop_predictor.create () in
+      F.Predictor.make ~name:"lbp" ~predict:(fun _ -> false)
+        ~update:(fun _ _ -> ())
+        ~storage_bits:(F.Loop_predictor.storage_bits lbp))
+    "~0.5KB";
+  [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Table III *)
+
+let tab3 () =
+  let t =
+    Table.create
+      ~title:"Table III: front-end structures on the core budget (40nm)"
+      [ ("structure", Table.Left); ("area mm2", Table.Right);
+        ("paper", Table.Right); ("power W", Table.Right);
+        ("paper", Table.Right) ]
+  in
+  let row name area paper_area power paper_power =
+    Table.add_row t
+      [ name; Table.fmt_float ~decimals:3 area;
+        Table.fmt_float ~decimals:3 paper_area;
+        Table.fmt_float ~decimals:3 power;
+        Table.fmt_float ~decimals:3 paper_power ]
+  in
+  let open Paper_data in
+  let b = U.Mcpat.budget U.Frontend_config.baseline in
+  let tl = U.Mcpat.budget U.Frontend_config.tailored in
+  row "baseline core"
+    (U.Mcpat.core_area_mm2 U.Frontend_config.baseline)
+    tab3_baseline_core.area_mm2
+    (U.Mcpat.core_power_w U.Frontend_config.baseline)
+    tab3_baseline_core.power_w;
+  row "  I-cache 32KB/64B" b.icache_mm2 tab3_baseline_icache.area_mm2
+    b.icache_w tab3_baseline_icache.power_w;
+  row "  BP 16KB" b.bp_mm2 tab3_baseline_bp.area_mm2 b.bp_w
+    tab3_baseline_bp.power_w;
+  row "  BTB 2K" b.btb_mm2 tab3_baseline_btb.area_mm2 b.btb_w
+    tab3_baseline_btb.power_w;
+  Table.add_separator t;
+  row "tailored core"
+    (U.Mcpat.core_area_mm2 U.Frontend_config.tailored)
+    tab3_tailored_core.area_mm2
+    (U.Mcpat.core_power_w U.Frontend_config.tailored)
+    tab3_tailored_core.power_w;
+  row "  I-cache 16KB/128B" tl.icache_mm2 tab3_tailored_icache.area_mm2
+    tl.icache_w tab3_tailored_icache.power_w;
+  row "  BP 2.5KB+LBP" tl.bp_mm2 tab3_tailored_bp.area_mm2 tl.bp_w
+    tab3_tailored_bp.power_w;
+  row "  BTB 256" tl.btb_mm2 tab3_tailored_btb.area_mm2 tl.btb_w
+    tab3_tailored_btb.power_w;
+  let headline =
+    Table.create ~title:"Headline savings (tailored vs baseline core)"
+      [ ("metric", Table.Left); ("measured", Table.Right);
+        ("paper", Table.Right) ]
+  in
+  Table.add_row headline
+    [ "core area saving";
+      Table.fmt_pct (U.Mcpat.area_saving_vs_baseline U.Frontend_config.tailored);
+      Table.fmt_pct headline_area_saving ];
+  Table.add_row headline
+    [ "core power saving";
+      Table.fmt_pct
+        (U.Mcpat.power_saving_vs_baseline U.Frontend_config.tailored);
+      Table.fmt_pct headline_power_saving ];
+  [ t; headline ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10 / Fig 11 *)
+
+let fig10 scale =
+  let metrics =
+    [ ("time", fun (e : U.Cmp.eval) -> e.time);
+      ("power", fun e -> e.power);
+      ("energy", fun e -> e.energy);
+      ("ED", fun e -> e.ed) ]
+  in
+  List.map
+    (fun (mname, get) ->
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Fig 10 (%s): normalized to the Baseline CMP, per suite" mname)
+          ([ ("suite", Table.Left) ]
+          @ List.map
+              (fun (c : U.Cmp.config) -> (c.cname, Table.Right))
+              U.Cmp.standard_configs)
+      in
+      List.iter
+        (fun suite ->
+          let per_bench =
+            List.map (evaluate_cmps scale) (W.Suites.by_suite suite)
+          in
+          let ratios =
+            List.map
+              (fun (cfg : U.Cmp.config) ->
+                let values =
+                  List.map
+                    (fun evals ->
+                      let base = List.assoc U.Cmp.baseline_cmp evals in
+                      let e = List.assoc cfg evals in
+                      get (U.Cmp.relative e ~baseline:base))
+                    per_bench
+                in
+                Repro_util.Stats.mean values)
+              U.Cmp.standard_configs
+          in
+          Table.add_row t
+            (Suite.to_string suite :: List.map (fun v -> f2 v) ratios))
+        Suite.all;
+      t)
+    metrics
+
+let fig11 scale =
+  let t =
+    Table.create
+      ~title:"Fig 11: normalized execution time, per benchmark"
+      ([ ("benchmark", Table.Left) ]
+      @ List.map
+          (fun (c : U.Cmp.config) -> (c.cname, Table.Right))
+          U.Cmp.standard_configs
+      @ [ ("paper (T / A++)", Table.Right) ])
+  in
+  List.iter
+    (fun name ->
+      let evals = evaluate_cmps scale (W.Suites.find name) in
+      let base = List.assoc U.Cmp.baseline_cmp evals in
+      let ratios =
+        List.map
+          (fun (cfg : U.Cmp.config) ->
+            (U.Cmp.relative (List.assoc cfg evals) ~baseline:base).U.Cmp.time)
+          U.Cmp.standard_configs
+      in
+      let paper =
+        match List.assoc_opt name Paper_data.fig11_time with
+        | Some l ->
+            Printf.sprintf "%s / %s"
+              (match List.assoc_opt "Tailored" l with
+              | Some v -> f2 v
+              | None -> "-")
+              (match List.assoc_opt "Asymmetric++" l with
+              | Some v -> f2 v
+              | None -> "-")
+        | None -> "-"
+      in
+      Table.add_row t ((name :: List.map f2 ratios) @ [ paper ]))
+    W.Suites.fig11_subset;
+  [ t ]
+
+let run ?(scale = 1.0) id =
+  match id with
+  | Fig1 -> fig1 scale
+  | Fig2 -> fig2 scale
+  | Tab1 -> tab1 scale
+  | Fig3 -> fig3 scale
+  | Fig4 -> fig4 scale
+  | Fig5 -> fig5 scale
+  | Fig6 -> fig6 scale
+  | Fig7 -> fig7 scale
+  | Fig8 -> fig8 scale
+  | Fig9 -> fig9 scale
+  | Tab2 -> tab2 ()
+  | Tab3 -> tab3 ()
+  | Fig10 -> fig10 scale
+  | Fig11 -> fig11 scale

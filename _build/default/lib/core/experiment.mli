@@ -1,0 +1,42 @@
+(** The experiment registry: one entry per table and figure of the
+    paper's evaluation, each runnable on the synthetic benchmark
+    suites and rendered as a plain-text table next to the paper's
+    reference values.
+
+    Traces are expensive, so characterizations and CMP measurements
+    are memoized per [(benchmark, scale)] within the process; a
+    harness that runs every experiment pays for each benchmark's
+    trace once per kind of measurement. *)
+
+type id =
+  | Fig1  (** dynamic branch-instruction breakdown *)
+  | Fig2  (** conditional-branch bias distribution *)
+  | Tab1  (** backward vs forward taken branches *)
+  | Fig3  (** static and 99%-dynamic instruction footprints *)
+  | Fig4  (** basic-block length, distance between taken branches *)
+  | Fig5  (** branch MPKI across predictor configurations *)
+  | Fig6  (** branch MPKI breakdown by mispredicted outcome *)
+  | Fig7  (** BTB MPKI across sizes and associativities *)
+  | Fig8  (** I-cache MPKI across sizes and associativities *)
+  | Fig9  (** I-cache MPKI across line widths *)
+  | Tab2  (** branch-predictor hardware budgets *)
+  | Tab3  (** per-structure area and power on the core budget *)
+  | Fig10  (** CMP execution time, power, energy, energy-delay *)
+  | Fig11  (** per-benchmark CMP execution time *)
+
+val all : id list
+(** Paper order. *)
+
+val to_string : id -> string
+(** Lower-case key, e.g. ["fig1"], ["tab3"]. *)
+
+val of_string : string -> id option
+val describe : id -> string
+
+val run : ?scale:float -> id -> Repro_util.Table.t list
+(** Execute the experiment and render its tables. [scale] multiplies
+    every benchmark's dynamic instruction budget (default 1.0; tests
+    use ~0.05 for speed, at some fidelity cost). *)
+
+val clear_cache : unit -> unit
+(** Drop memoized characterizations and measurements. *)

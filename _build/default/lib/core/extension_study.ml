@@ -1,0 +1,125 @@
+module A = Repro_analysis
+module W = Repro_workload
+module F = Repro_frontend
+module Table = Repro_util.Table
+
+let total = A.Branch_mix.Total
+
+let scaled (p : W.Profile.t) = function
+  | Some i -> i
+  | None -> p.total_insts
+
+let predictor_table ?insts ~benchmarks () =
+  let statics =
+    [ A.Bp_sim.Always_taken; A.Bp_sim.Always_not_taken; A.Bp_sim.Btfn ]
+  in
+  let dyn_names = [ "gshare-small"; "tage-big"; "perceptron-128";
+                    "two-level-10.10" ] in
+  let t =
+    Table.create
+      ~title:
+        "Extension: branch MPKI incl. perceptron, two-level and static \
+         schemes"
+      ([ ("benchmark", Table.Left) ]
+      @ List.map (fun n -> (n, Table.Right)) dyn_names
+      @ [ ("static-taken", Table.Right); ("static-not-taken", Table.Right);
+          ("static-btfn", Table.Right) ])
+  in
+  List.iter
+    (fun name ->
+      let p = W.Suites.find name in
+      let ex = W.Executor.create ~insts:(scaled p insts) p in
+      let dyn =
+        List.map (fun n -> A.Bp_sim.create (F.Zoo.by_name_extended n)) dyn_names
+      in
+      let sta = List.map A.Bp_sim.create_static statics in
+      A.Tool.run_all (W.Executor.trace ex)
+        (List.map A.Bp_sim.observer (dyn @ sta));
+      Table.add_row t
+        (name
+        :: List.map (fun s -> Table.fmt_float (A.Bp_sim.mpki s total)) (dyn @ sta)))
+    benchmarks;
+  t
+
+let prefetch_table ?insts ~benchmarks () =
+  let configs =
+    [ ("32K/64B (baseline)", (32768, 64, 4, false));
+      ("16K/128B (tailored)", (16384, 128, 8, false));
+      ("16K/64B", (16384, 64, 8, false));
+      ("16K/64B + next-line", (16384, 64, 8, true)) ]
+  in
+  let t =
+    Table.create
+      ~title:
+        "Extension: next-line prefetch vs wide lines (I-cache MPKI; \
+         prefetch accuracy in parens)"
+      ([ ("benchmark", Table.Left) ]
+      @ List.map (fun (n, _) -> (n, Table.Right)) configs)
+  in
+  List.iter
+    (fun name ->
+      let p = W.Suites.find name in
+      let ex = W.Executor.create ~insts:(scaled p insts) p in
+      let sims =
+        List.map
+          (fun (_, (size, line, assoc, pf)) ->
+            A.Icache_sim.create ~next_line_prefetch:pf ~size_bytes:size
+              ~line_bytes:line ~assoc ())
+          configs
+      in
+      A.Tool.run_all (W.Executor.trace ex)
+        (List.map A.Icache_sim.observer sims);
+      Table.add_row t
+        (name
+        :: List.map
+             (fun sim ->
+               let cache = A.Icache_sim.cache sim in
+               let mpki = Table.fmt_float (A.Icache_sim.mpki sim total) in
+               let issued = F.Icache.prefetches cache in
+               if issued = 0 then mpki
+               else
+                 Printf.sprintf "%s (%.0f%%)" mpki
+                   (100.0
+                   *. float_of_int (F.Icache.useful_prefetches cache)
+                   /. float_of_int issued))
+             sims))
+    benchmarks;
+  t
+
+let predictability_table ?insts () =
+  let t =
+    Table.create
+      ~title:
+        "Extension: trace learnability and instruction working sets per suite"
+      [ ("suite", Table.Left); ("novelty rate", Table.Right);
+        ("pairs/site", Table.Right); ("ws knee (64B,4w)", Table.Right) ]
+  in
+  List.iter
+    (fun suite ->
+      let novelty = ref [] and pps = ref [] and knees = ref [] in
+      List.iter
+        (fun (p : W.Profile.t) ->
+          let ex = W.Executor.create ~insts:(scaled p insts) p in
+          let pred = A.Predictability.create () in
+          let ws = A.Working_set.create () in
+          A.Tool.run_all (W.Executor.trace ex)
+            [ A.Predictability.observer pred; A.Working_set.observer ws ];
+          let n = A.Predictability.novelty_rate pred in
+          if not (Float.is_nan n) then novelty := n :: !novelty;
+          let pp = A.Predictability.pairs_per_site pred in
+          if not (Float.is_nan pp) then pps := pp :: !pps;
+          match A.Working_set.knee ws () with
+          | Some k -> knees := float_of_int k :: !knees
+          | None -> ())
+        (W.Suites.by_suite suite);
+      Table.add_row t
+        [ W.Suite.to_string suite;
+          Table.fmt_pct (Repro_util.Stats.mean !novelty);
+          Table.fmt_float (Repro_util.Stats.mean !pps);
+          (match !knees with
+          | [] -> "-"
+          | ks ->
+              Repro_util.Units.pp_bytes
+                (int_of_float (Repro_util.Stats.mean ks))) ])
+    W.Suite.all;
+  t

@@ -1,0 +1,24 @@
+(** Extension studies beyond the paper's evaluation:
+
+    - {!predictor_table}: the Fig. 5 sweep widened with a perceptron,
+      a PAg two-level local predictor, and the three static schemes
+      (always-taken, always-not-taken, BTFN). BTFN is the natural
+      static baseline for the paper's bias findings — if HPC branches
+      are mostly backward-taken/forward-not-taken, how far does a
+      zero-storage decoder-only scheme get?
+    - {!prefetch_table}: the tailored I-cache with and without an
+      explicit next-line prefetcher, against the baseline — testing
+      the paper's "wide line acts as a prefetch buffer" remark.
+    - {!predictability_table}: trace learnability (novelty rate of
+      (site, history) pairs) and working-set knees per suite — the two
+      quantities that explain *why* the paper's downsizing is safe for
+      HPC. *)
+
+val predictor_table :
+  ?insts:int -> benchmarks:string list -> unit -> Repro_util.Table.t
+
+val prefetch_table :
+  ?insts:int -> benchmarks:string list -> unit -> Repro_util.Table.t
+
+val predictability_table : ?insts:int -> unit -> Repro_util.Table.t
+(** One row per suite: novelty rate, pairs/site, working-set knee. *)

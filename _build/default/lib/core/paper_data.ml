@@ -1,0 +1,120 @@
+module Suite = Repro_workload.Suite
+
+type provenance = [ `Text | `Chart ]
+
+let fig1_branch_pct =
+  [ (Suite.Exmatex, 13.0, `Text);
+    (Suite.Spec_omp, 7.0, `Text);
+    (Suite.Npb, 7.0, `Text);
+    (Suite.Spec_int, 19.0, `Text) ]
+
+let fig1_serial_parallel_ratio = 3.0
+
+let fig2_biased_pct =
+  [ (Suite.Exmatex, 80.0, `Text);
+    (Suite.Spec_omp, 85.0, `Chart);
+    (Suite.Npb, 90.0, `Text);
+    (Suite.Spec_int, 60.0, `Chart) ]
+
+let tab1_backward_pct =
+  [ (Suite.Exmatex, Some 72.0, Some 69.0);
+    (Suite.Spec_omp, Some 73.0, Some 74.0);
+    (Suite.Npb, Some 71.0, Some 80.0);
+    (Suite.Spec_int, Some 56.0, None) ]
+
+let fig3_static_kb =
+  [ (Suite.Exmatex, 242.0, `Text);
+    (Suite.Spec_omp, 121.0, `Text);
+    (Suite.Npb, 121.0, `Text);
+    (Suite.Spec_int, 250.0, `Chart) ]
+
+let fig3_dyn99_parallel_kb = 14.0
+
+let fig4_bbl_bytes =
+  [ (Suite.Exmatex, 60.0, `Chart);
+    (Suite.Spec_omp, 85.0, `Chart);
+    (Suite.Npb, 100.0, `Chart);
+    (Suite.Spec_int, 20.0, `Chart) ]
+
+let fig4_bbl_ratio_hpc_vs_int = 4.0
+let fig4_dist_ratio_hpc_vs_int = 5.0
+
+let fig5_mpki =
+  [ (Suite.Exmatex,
+     [ ("gshare-big", 5.0); ("tournament-big", 5.0); ("tage-big", 3.5);
+       ("gshare-small", 8.0); ("tournament-small", 7.0); ("tage-small", 4.0);
+       ("L-gshare-small", 6.0); ("L-tournament-small", 5.5);
+       ("L-tage-small", 3.8) ]);
+    (Suite.Spec_omp,
+     [ ("gshare-big", 2.0); ("tournament-big", 1.8); ("tage-big", 1.0);
+       ("gshare-small", 3.5); ("tournament-small", 3.0); ("tage-small", 1.2);
+       ("L-gshare-small", 2.2); ("L-tournament-small", 2.0);
+       ("L-tage-small", 1.0) ]);
+    (Suite.Npb,
+     [ ("gshare-big", 1.5); ("tournament-big", 1.2); ("tage-big", 0.8);
+       ("gshare-small", 2.5); ("tournament-small", 2.0); ("tage-small", 1.0);
+       ("L-gshare-small", 1.6); ("L-tournament-small", 1.4);
+       ("L-tage-small", 0.8) ]);
+    (Suite.Spec_int,
+     [ ("gshare-big", 12.0); ("tournament-big", 11.0); ("tage-big", 8.0);
+       ("gshare-small", 18.0); ("tournament-small", 16.0); ("tage-small", 9.0);
+       ("L-gshare-small", 17.5); ("L-tournament-small", 15.5);
+       ("L-tage-small", 9.0) ]) ]
+
+let fig8_icache_mpki_16k_vs_32k_int = 2.5
+let fig9_wide_line_delta_hpc = -0.16
+let fig9_wide_line_delta_int = 0.19
+let fig9_line_usefulness_hpc = 0.71
+let fig9_line_usefulness_int = 0.33
+
+type tab3_row = { area_mm2 : float; power_w : float }
+
+let tab3_baseline_core = { area_mm2 = 2.49; power_w = 0.85 }
+let tab3_baseline_icache = { area_mm2 = 0.31; power_w = 0.075 }
+let tab3_baseline_bp = { area_mm2 = 0.14; power_w = 0.032 }
+let tab3_baseline_btb = { area_mm2 = 0.125; power_w = 0.017 }
+let tab3_tailored_core = { area_mm2 = 2.11; power_w = 0.79 }
+let tab3_tailored_icache = { area_mm2 = 0.14; power_w = 0.049 }
+let tab3_tailored_bp = { area_mm2 = 0.04; power_w = 0.011 }
+let tab3_tailored_btb = { area_mm2 = 0.022; power_w = 0.002 }
+
+let headline_area_saving = 0.16
+let headline_power_saving = 0.07
+let headline_speedup = 0.12
+let headline_power_increase = 0.04
+let headline_energy_saving = 0.08
+let headline_ed_saving = 0.18
+
+let fig10_time =
+  [ (Suite.Exmatex,
+     [ ("Baseline", 1.0); ("Tailored", 1.06); ("Asymmetric", 1.0);
+       ("Asymmetric++", 0.90) ]);
+    (Suite.Spec_omp,
+     [ ("Baseline", 1.0); ("Tailored", 1.01); ("Asymmetric", 1.0);
+       ("Asymmetric++", 0.88) ]);
+    (Suite.Npb,
+     [ ("Baseline", 1.0); ("Tailored", 1.01); ("Asymmetric", 1.0);
+       ("Asymmetric++", 0.88) ]);
+    (Suite.Spec_int,
+     [ ("Baseline", 1.0); ("Tailored", 1.18); ("Asymmetric", 1.0);
+       ("Asymmetric++", 1.0) ]) ]
+
+let fig11_time =
+  [ ("CoEVP",
+     [ ("Baseline", 1.0); ("Tailored", 1.22); ("Asymmetric", 1.0);
+       ("Asymmetric++", 0.97) ]);
+    ("CoMD",
+     [ ("Baseline", 1.0); ("Tailored", 1.05); ("Asymmetric", 1.02);
+       ("Asymmetric++", 0.92) ]);
+    ("fma3d",
+     [ ("Baseline", 1.0); ("Tailored", 1.06); ("Asymmetric", 1.0);
+       ("Asymmetric++", 0.90) ]);
+    ("FT",
+     [ ("Baseline", 1.0); ("Tailored", 1.01); ("Asymmetric", 1.0);
+       ("Asymmetric++", 0.80) ]);
+    ("h264ref",
+     [ ("Baseline", 1.0); ("Tailored", 1.02); ("Asymmetric", 1.0);
+       ("Asymmetric++", 1.0) ]);
+    ("gobmk",
+     [ ("Baseline", 1.0); ("Tailored", 1.25); ("Asymmetric", 1.0);
+       ("Asymmetric++", 1.0) ]) ]

@@ -1,0 +1,88 @@
+(** Reference values reported in the paper, for paper-vs-measured
+    comparison in the experiment harness and in EXPERIMENTS.md.
+
+    Values quoted in the text are exact; values read off bar charts
+    are approximate (flagged [`Chart]). All suite-level values are in
+    the order ExMatEx, SPEC OMP, NPB, SPEC CPU INT. *)
+
+type provenance = [ `Text | `Chart ]
+
+val fig1_branch_pct : (Repro_workload.Suite.t * float * provenance) list
+(** Total dynamic branch share of the instruction mix, percent. *)
+
+val fig1_serial_parallel_ratio : float
+(** Serial sections have ~3x the branch share of parallel ones. *)
+
+val fig2_biased_pct : (Repro_workload.Suite.t * float * provenance) list
+(** Share of dynamic conditional branches from sites decided >90% in
+    one direction. *)
+
+val tab1_backward_pct :
+  (Repro_workload.Suite.t * float option * float option) list
+(** (suite, serial backward %, parallel backward %); SPEC INT has a
+    single column in the paper. *)
+
+val fig3_static_kb : (Repro_workload.Suite.t * float * provenance) list
+val fig3_dyn99_parallel_kb : float
+(** HPC parallel sections: 99% of instructions from ~14KB. *)
+
+val fig4_bbl_bytes : (Repro_workload.Suite.t * float * provenance) list
+val fig4_bbl_ratio_hpc_vs_int : float
+val fig4_dist_ratio_hpc_vs_int : float
+
+val fig5_mpki :
+  (Repro_workload.Suite.t * (string * float) list) list
+(** Approximate per-suite branch MPKI per predictor configuration
+    (chart-read). *)
+
+val fig8_icache_mpki_16k_vs_32k_int : float
+(** SPEC INT: 16KB I-cache has ~2.5x the misses of 32KB. *)
+
+val fig9_wide_line_delta_hpc : float
+(** HPC: 128B lines miss ~16% less than 32B at fixed size. *)
+
+val fig9_wide_line_delta_int : float
+(** SPEC INT: 128B lines miss ~19% more than 32B. *)
+
+val fig9_line_usefulness_hpc : float
+(** 128B-line usefulness for HPC (71%). *)
+
+val fig9_line_usefulness_int : float
+(** 128B-line usefulness for SPEC INT (33%). *)
+
+(** Table III (exact): areas in mm^2 and powers in W at 40nm. *)
+type tab3_row = { area_mm2 : float; power_w : float }
+
+val tab3_baseline_core : tab3_row
+val tab3_baseline_icache : tab3_row
+val tab3_baseline_bp : tab3_row
+val tab3_baseline_btb : tab3_row
+val tab3_tailored_core : tab3_row
+val tab3_tailored_icache : tab3_row
+val tab3_tailored_bp : tab3_row
+val tab3_tailored_btb : tab3_row
+
+val headline_area_saving : float
+(** 16% core area saved by the tailored front-end. *)
+
+val headline_power_saving : float
+(** 7% core power saved by the tailored front-end. *)
+
+val headline_speedup : float
+(** Asymmetric++: 12% shorter execution time on average. *)
+
+val headline_power_increase : float
+(** Asymmetric++: 4% more power than the Baseline CMP. *)
+
+val headline_energy_saving : float
+(** Asymmetric++: 8% energy saving. *)
+
+val headline_ed_saving : float
+(** Asymmetric++: 18% energy-delay reduction. *)
+
+val fig10_time :
+  (Repro_workload.Suite.t * (string * float) list) list
+(** Normalized execution time per CMP configuration (chart-read). *)
+
+val fig11_time : (string * (string * float) list) list
+(** Per-benchmark normalized times for the Fig. 11 subset. *)

@@ -1,0 +1,49 @@
+(** Front-end rebalancing: the paper's methodology as a library.
+
+    Given a set of workloads, sweep candidate front-end designs,
+    estimate each design's performance cost from measured miss rates
+    ({!Repro_uarch.Timing}) and its area/power from
+    {!Repro_uarch.Mcpat}, and recommend the cheapest design whose
+    estimated slowdown against the baseline core stays under a
+    threshold. Applied to the three HPC suites this reproduces the
+    paper's tailored configuration; applied to SPEC INT it refuses to
+    downsize. *)
+
+type estimate = {
+  config : Repro_uarch.Frontend_config.t;
+  area_mm2 : float;
+  power_w : float;
+  slowdown : float;
+      (** worst-case per-workload time ratio vs the baseline core
+          (1.0 = no loss) *)
+  avg_slowdown : float;
+}
+
+type recommendation = {
+  chosen : estimate;
+  baseline : estimate;
+  candidates : estimate list;  (** every swept design, by area *)
+  rationale : string list;
+}
+
+val default_candidates : Repro_uarch.Frontend_config.t list
+(** The cross-product the paper's Section IV explores: I-cache
+    {8,16,32}KB x {64,128}B lines, tournament BP {2KB small,16KB big}
+    x {with, without} loop predictor, BTB {256,512,2048} entries. *)
+
+val estimate :
+  ?insts:int ->
+  Repro_uarch.Frontend_config.t ->
+  Repro_workload.Profile.t list ->
+  estimate
+(** Measure the configuration against every workload. *)
+
+val recommend :
+  ?insts:int ->
+  ?max_slowdown:float ->
+  ?candidates:Repro_uarch.Frontend_config.t list ->
+  Repro_workload.Profile.t list ->
+  recommendation
+(** [recommend profiles] picks the smallest-area candidate whose
+    worst-case slowdown is below [max_slowdown] (default 3%).
+    Raises [Invalid_argument] on an empty profile or candidate list. *)

@@ -1,0 +1,14 @@
+(** Report generation: run experiments and render the results as
+    plain text (for the bench harness) or as the EXPERIMENTS.md
+    paper-vs-measured record. *)
+
+val run_to_string : ?scale:float -> Experiment.id -> string
+(** Header plus every table of one experiment. *)
+
+val run_all_to_string : ?scale:float -> unit -> string
+(** Every experiment, in paper order. *)
+
+val experiments_markdown : ?scale:float -> unit -> string
+(** The EXPERIMENTS.md body: for every table and figure, the
+    reproduction status, the measured tables (fenced), and the key
+    paper-vs-measured deltas. *)

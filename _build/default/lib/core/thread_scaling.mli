@@ -1,0 +1,36 @@
+(** Thread-count sensitivity (paper Section III-D).
+
+    The paper observes that the serial-instruction share of a parallel
+    application grows with thread count — fma3d and nab go from ~4% of
+    instructions at 8 threads to 18–19% at 64 — and argues that this
+    makes the asymmetric design *more* important on manycore parts
+    (Xeon Phi / POWER8 scale). This module models that trend: the
+    serial *work* is fixed, so its instruction share grows as parallel
+    work per thread shrinks, and evaluates how the Tailored and
+    Asymmetric CMPs diverge as cores scale. *)
+
+type point = {
+  n_cores : int;
+  serial_share : float;  (** serial fraction of thread-0 instructions *)
+  tailored_vs_baseline : float;
+      (** Tailored-CMP execution time normalized to a same-core-count
+          Baseline CMP *)
+  asymmetric_vs_baseline : float;  (** 1 baseline + (n-1) tailored *)
+}
+
+val serial_share_at : base_share:float -> base_threads:int -> int -> float
+(** [serial_share_at ~base_share ~base_threads n] is the serial
+    instruction share of the measured thread when the same program
+    runs with [n] threads: serial work is constant while parallel work
+    divides by the thread count. Reproduces the paper's example
+    (fma3d: 4% at 8 threads -> ~19% at 64). *)
+
+val sweep :
+  ?insts:int ->
+  ?cores:int list ->
+  Repro_workload.Profile.t ->
+  point list
+(** Evaluate the benchmark across core counts (default 8, 16, 32, 64),
+    adjusting the profile's serial share per {!serial_share_at}. *)
+
+val table : string -> point list -> Repro_util.Table.t

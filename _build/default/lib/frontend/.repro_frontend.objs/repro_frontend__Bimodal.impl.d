@@ -1,0 +1,1 @@
+lib/frontend/bimodal.ml: Counter Predictor Printf

@@ -1,0 +1,1 @@
+lib/frontend/btb.ml: Array Repro_util

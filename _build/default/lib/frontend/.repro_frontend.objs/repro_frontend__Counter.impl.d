@@ -1,0 +1,1 @@
+lib/frontend/counter.ml: Bytes Char Repro_util

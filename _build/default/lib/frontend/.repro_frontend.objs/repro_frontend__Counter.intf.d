@@ -1,0 +1,1 @@
+lib/frontend/counter.mli:

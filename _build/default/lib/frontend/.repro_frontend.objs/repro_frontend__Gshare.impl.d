@@ -1,0 +1,1 @@
+lib/frontend/gshare.ml: Counter History Predictor

@@ -1,0 +1,1 @@
+lib/frontend/gshare.mli: Predictor

@@ -1,0 +1,1 @@
+lib/frontend/history.ml: Bytes Char

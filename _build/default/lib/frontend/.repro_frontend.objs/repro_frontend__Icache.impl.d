@@ -1,0 +1,1 @@
+lib/frontend/icache.ml: Array Repro_util

@@ -1,0 +1,1 @@
+lib/frontend/loop_predictor.ml: Array Predictor Repro_util

@@ -1,0 +1,1 @@
+lib/frontend/perceptron.ml: Array History Predictor Printf Repro_util

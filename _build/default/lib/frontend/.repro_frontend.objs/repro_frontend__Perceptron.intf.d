@@ -1,0 +1,1 @@
+lib/frontend/perceptron.mli: Predictor

@@ -1,0 +1,1 @@
+lib/frontend/predictor.ml: Format Repro_util

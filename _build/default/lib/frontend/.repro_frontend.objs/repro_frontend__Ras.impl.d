@@ -1,0 +1,1 @@
+lib/frontend/ras.ml: Array Repro_util

@@ -1,0 +1,1 @@
+lib/frontend/tage.ml: Array Bool Bytes Char Counter Float History List Predictor Repro_util

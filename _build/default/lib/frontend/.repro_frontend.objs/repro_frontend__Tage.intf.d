@@ -1,0 +1,1 @@
+lib/frontend/tage.mli: Predictor

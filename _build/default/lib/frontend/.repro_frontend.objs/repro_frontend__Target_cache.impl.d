@@ -1,0 +1,1 @@
+lib/frontend/target_cache.ml: Array Repro_util

@@ -1,0 +1,1 @@
+lib/frontend/tournament.ml: Array Bool Counter History Predictor

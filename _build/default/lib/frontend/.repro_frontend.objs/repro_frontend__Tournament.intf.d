@@ -1,0 +1,1 @@
+lib/frontend/tournament.mli: Predictor

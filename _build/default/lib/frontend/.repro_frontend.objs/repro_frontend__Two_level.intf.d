@@ -1,0 +1,1 @@
+lib/frontend/two_level.mli: Predictor

@@ -1,0 +1,1 @@
+lib/frontend/zoo.ml: Gshare List Loop_predictor Perceptron String Tage Tournament Two_level

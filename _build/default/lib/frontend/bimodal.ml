@@ -1,0 +1,20 @@
+type t = { table : Counter.t }
+
+(* Branch PCs are byte addresses; drop the low bit only (x86
+   instructions are unaligned, so low bits carry information). *)
+let index pc = pc lsr 1
+
+let create ~index_bits =
+  if index_bits < 1 || index_bits > 24 then invalid_arg "Bimodal.create";
+  { table = Counter.create ~bits:2 ~entries:(1 lsl index_bits) }
+
+let predict t ~pc = Counter.is_taken t.table (index pc)
+let update t ~pc ~taken = Counter.update t.table (index pc) taken
+let storage_bits t = Counter.storage_bits t.table
+
+let pack t =
+  Predictor.make
+    ~name:(Printf.sprintf "bimodal-%d" (Counter.entries t.table))
+    ~predict:(fun pc -> predict t ~pc)
+    ~update:(fun pc taken -> update t ~pc ~taken)
+    ~storage_bits:(storage_bits t)

@@ -1,0 +1,13 @@
+(** Bimodal predictor: one table of 2-bit saturating counters indexed
+    by the branch address. The simplest dynamic predictor; also serves
+    as TAGE's base component. *)
+
+type t
+
+val create : index_bits:int -> t
+(** Table of [2^index_bits] 2-bit counters. *)
+
+val predict : t -> pc:int -> bool
+val update : t -> pc:int -> taken:bool -> unit
+val storage_bits : t -> int
+val pack : t -> Predictor.t

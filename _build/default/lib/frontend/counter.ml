@@ -1,0 +1,36 @@
+type t = { bits : int; max : int; cells : Bytes.t }
+
+let create ~bits ~entries =
+  if bits < 1 || bits > 8 then invalid_arg "Counter.create: bits";
+  if not (Repro_util.Units.is_power_of_two entries) then
+    invalid_arg "Counter.create: entries must be a power of two";
+  let max = (1 lsl bits) - 1 in
+  let weak_nt = (1 lsl (bits - 1)) - 1 in
+  { bits; max; cells = Bytes.make entries (Char.chr weak_nt) }
+
+let entries t = Bytes.length t.cells
+let bits t = t.bits
+
+let get t i =
+  let i = i land (Bytes.length t.cells - 1) in
+  Char.code (Bytes.unsafe_get t.cells i)
+
+let set t i v =
+  let i = i land (Bytes.length t.cells - 1) in
+  let v = if v < 0 then 0 else if v > t.max then t.max else v in
+  Bytes.unsafe_set t.cells i (Char.unsafe_chr v)
+
+let is_taken t i = get t i >= 1 lsl (t.bits - 1)
+let is_strong t i =
+  let v = get t i in
+  v = 0 || v = t.max
+
+let update t i taken =
+  let v = get t i in
+  if taken then (if v < t.max then set t i (v + 1))
+  else if v > 0 then set t i (v - 1)
+
+let reset_weak t i taken =
+  set t i (if taken then 1 lsl (t.bits - 1) else (1 lsl (t.bits - 1)) - 1)
+
+let storage_bits t = t.bits * Bytes.length t.cells

@@ -1,0 +1,33 @@
+(** Arrays of n-bit saturating up/down counters, the basic storage cell
+    of every table-based branch predictor. *)
+
+type t
+
+val create : bits:int -> entries:int -> t
+(** All counters start weakly not-taken (value [2^(bits-1) - 1]).
+    Requires [1 <= bits <= 8] and [entries] a power of two (indices are
+    wrapped by masking). *)
+
+val entries : t -> int
+val bits : t -> int
+
+val get : t -> int -> int
+(** Raw counter value at an index (wrapped into range). *)
+
+val set : t -> int -> int -> unit
+(** Store a value, clamped into the representable range. *)
+
+val is_taken : t -> int -> bool
+(** MSB set: counter in a "predict taken" state. *)
+
+val is_strong : t -> int -> bool
+(** Counter saturated at either end. *)
+
+val update : t -> int -> bool -> unit
+(** Saturating increment when [taken], decrement otherwise. *)
+
+val reset_weak : t -> int -> bool -> unit
+(** Set entry to the weak state of the given direction. *)
+
+val storage_bits : t -> int
+(** Hardware cost in bits. *)

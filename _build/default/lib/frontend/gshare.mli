@@ -1,0 +1,15 @@
+(** Gshare predictor (McFarling, 1993): one global pattern-history
+    table of 2-bit counters indexed by the branch address XORed with
+    the global branch-history register.
+
+    Hardware cost is [2^(m+1)] bits for history length [m], matching
+    the paper's Table II ([m = 13] for the ~2KB "small" configuration,
+    [m = 16] for the ~16KB "big" one). *)
+
+type t
+
+val create : history_bits:int -> t
+val predict : t -> pc:int -> bool
+val update : t -> pc:int -> taken:bool -> unit
+val storage_bits : t -> int
+val pack : name:string -> t -> Predictor.t

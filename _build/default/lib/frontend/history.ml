@@ -1,0 +1,42 @@
+(* Circular bit buffer; head points at the slot of the most recent
+   outcome. *)
+type t = { len : int; buf : Bytes.t; mutable head : int }
+
+let create len =
+  if len < 1 || len > 1024 then invalid_arg "History.create";
+  { len; buf = Bytes.make len '\000'; head = 0 }
+
+let length t = t.len
+
+let push t taken =
+  t.head <- (t.head + t.len - 1) mod t.len;
+  Bytes.unsafe_set t.buf t.head (if taken then '\001' else '\000')
+
+let bit t i =
+  if i < 0 || i >= t.len then false
+  else Char.code (Bytes.unsafe_get t.buf ((t.head + i) mod t.len)) = 1
+
+let low_bits t n =
+  if n > 62 then invalid_arg "History.low_bits: too wide";
+  let n = min n t.len in
+  let acc = ref 0 in
+  for i = n - 1 downto 0 do
+    acc := (!acc lsl 1) lor (if bit t i then 1 else 0)
+  done;
+  !acc
+
+let folded t ~hist_len ~out_bits =
+  assert (out_bits > 0 && out_bits <= 30);
+  let hist_len = min hist_len t.len in
+  let acc = ref 0 in
+  for i = 0 to hist_len - 1 do
+    if bit t i then begin
+      let pos = i mod out_bits in
+      acc := !acc lxor (1 lsl pos)
+    end
+  done;
+  !acc
+
+let clear t =
+  Bytes.fill t.buf 0 t.len '\000';
+  t.head <- 0

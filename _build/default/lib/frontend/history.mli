@@ -1,0 +1,27 @@
+(** Branch history registers: shift registers of recent branch
+    outcomes, plus folded views for indexing wide histories into
+    narrow table indices (as TAGE does). *)
+
+type t
+
+val create : int -> t
+(** [create len] keeps the last [len] outcomes (1 <= len <= 1024). *)
+
+val length : t -> int
+
+val push : t -> bool -> unit
+(** Record an outcome (newest at position 0). *)
+
+val bit : t -> int -> bool
+(** [bit t i] is the outcome [i] branches ago ([0] = most recent).
+    Out-of-range bits read as [false]. *)
+
+val low_bits : t -> int -> int
+(** [low_bits t n] packs the [n] most recent outcomes into an integer
+    (most recent = bit 0). Requires [n <= 62]. *)
+
+val folded : t -> hist_len:int -> out_bits:int -> int
+(** XOR-fold the [hist_len] most recent outcomes down to [out_bits]
+    bits. Stable function of the history contents. *)
+
+val clear : t -> unit

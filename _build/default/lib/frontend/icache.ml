@@ -1,0 +1,199 @@
+type way = {
+  mutable tag : int; (* -1 invalid *)
+  mutable lru : int;
+  mutable touched : int; (* bitmask of consumed 4-byte granules *)
+  mutable prefetched : bool; (* filled by the prefetcher, not yet used *)
+}
+
+type t = {
+  size : int;
+  line : int;
+  assoc : int;
+  sets : int;
+  ways : way array array;
+  granules : int;
+  prefetch : bool;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable prefetches : int;
+  mutable useful_prefetches : int;
+  mutable useful_sum : float; (* accumulated usefulness of evicted lines *)
+  mutable filled : int; (* lines ever filled *)
+}
+
+let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
+  let open Repro_util.Units in
+  if not (is_power_of_two size_bytes && is_power_of_two line_bytes
+          && is_power_of_two assoc) then
+    invalid_arg "Icache.create: sizes must be powers of two";
+  if line_bytes < 4 then invalid_arg "Icache.create: line too narrow";
+  let lines = size_bytes / line_bytes in
+  if assoc > lines then invalid_arg "Icache.create: assoc too high";
+  let sets = lines / assoc in
+  { size = size_bytes;
+    line = line_bytes;
+    assoc;
+    sets;
+    ways =
+      Array.init sets (fun _ ->
+          Array.init assoc (fun _ ->
+              { tag = -1; lru = 0; touched = 0; prefetched = false }));
+    granules = line_bytes / 4;
+    prefetch = next_line_prefetch;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    prefetches = 0;
+    useful_prefetches = 0;
+    useful_sum = 0.0;
+    filled = 0 }
+
+let size_bytes t = t.size
+let line_bytes t = t.line
+let assoc t = t.assoc
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let line_usefulness t way =
+  float_of_int (popcount way.touched) /. float_of_int t.granules
+
+let touch_clock t way =
+  t.clock <- t.clock + 1;
+  way.lru <- t.clock
+
+let mark t way ~offset ~size =
+  let g0 = offset / 4 and g1 = (offset + size - 1) / 4 in
+  for g = g0 to min g1 (t.granules - 1) do
+    way.touched <- way.touched lor (1 lsl g)
+  done
+
+(* Fill [line_addr] without counting a demand access; used by the
+   next-line prefetcher. Does nothing if already resident. *)
+let rec prefetch_line t line_addr =
+  let set_idx = line_addr land (t.sets - 1) in
+  let tag = line_addr lsr Repro_util.Units.log2 t.sets in
+  let set = t.ways.(set_idx) in
+  let rec find i =
+    if i = t.assoc then None
+    else if set.(i).tag = tag then Some set.(i)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some _ -> ()
+  | None ->
+      let victim = pick_victim t set in
+      if victim.tag <> -1 then
+        t.useful_sum <- t.useful_sum +. line_usefulness t victim;
+      victim.tag <- tag;
+      victim.touched <- 0;
+      victim.prefetched <- true;
+      t.filled <- t.filled + 1;
+      t.prefetches <- t.prefetches + 1;
+      touch_clock t victim
+
+and pick_victim t set =
+  let best = ref set.(0) in
+  for i = 1 to t.assoc - 1 do
+    if !best.tag <> -1 && (set.(i).tag = -1 || set.(i).lru < !best.lru) then
+      best := set.(i)
+  done;
+  !best
+
+let access_line t line_addr ~offset ~size =
+  let set_idx = line_addr land (t.sets - 1) in
+  let tag = line_addr lsr Repro_util.Units.log2 t.sets in
+  let set = t.ways.(set_idx) in
+  t.accesses <- t.accesses + 1;
+  let rec find i =
+    if i = t.assoc then None
+    else if set.(i).tag = tag then Some set.(i)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some way ->
+      if way.prefetched then begin
+        way.prefetched <- false;
+        t.useful_prefetches <- t.useful_prefetches + 1
+      end;
+      touch_clock t way;
+      mark t way ~offset ~size;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      let victim = pick_victim t set in
+      if victim.tag <> -1 then
+        t.useful_sum <- t.useful_sum +. line_usefulness t victim;
+      victim.tag <- tag;
+      victim.touched <- 0;
+      victim.prefetched <- false;
+      t.filled <- t.filled + 1;
+      touch_clock t victim;
+      mark t victim ~offset ~size;
+      if t.prefetch then prefetch_line t (line_addr + 1);
+      false
+
+let access t ~addr ~size =
+  assert (size > 0);
+  let first_line = addr / t.line and last_line = (addr + size - 1) / t.line in
+  let hit = ref true in
+  for line = first_line to last_line do
+    let lo = max addr (line * t.line) in
+    let hi = min (addr + size) ((line + 1) * t.line) in
+    let ok = access_line t line ~offset:(lo - (line * t.line)) ~size:(hi - lo) in
+    if not ok then hit := false
+  done;
+  !hit
+
+let consume t ~addr ~size =
+  assert (size > 0);
+  let first_line = addr / t.line and last_line = (addr + size - 1) / t.line in
+  for line = first_line to last_line do
+    let set_idx = line land (t.sets - 1) in
+    let tag = line lsr Repro_util.Units.log2 t.sets in
+    let set = t.ways.(set_idx) in
+    let lo = max addr (line * t.line) in
+    let hi = min (addr + size) ((line + 1) * t.line) in
+    Array.iter
+      (fun way ->
+        if way.tag = tag then
+          mark t way ~offset:(lo - (line * t.line)) ~size:(hi - lo))
+      set
+  done
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let usefulness t =
+  (* Evicted lines plus a snapshot of currently-resident ones. *)
+  let sum = ref t.useful_sum in
+  let resident_sum = ref 0.0 and resident_n = ref 0 in
+  Array.iter
+    (Array.iter (fun way ->
+         if way.tag <> -1 then begin
+           resident_sum := !resident_sum +. line_usefulness t way;
+           incr resident_n
+         end))
+    t.ways;
+  let evicted_n = t.filled - !resident_n in
+  let total_n = evicted_n + !resident_n in
+  if total_n = 0 then nan
+  else (!sum +. !resident_sum) /. float_of_int total_n
+
+let prefetches t = t.prefetches
+let useful_prefetches t = t.useful_prefetches
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.prefetches <- 0;
+  t.useful_prefetches <- 0;
+  t.useful_sum <- 0.0;
+  t.filled <- 0
+
+let storage_bits t =
+  let tag_bits = 48 - Repro_util.Units.log2 t.line - Repro_util.Units.log2 t.sets in
+  (t.sets * t.assoc * (tag_bits + 1 + Repro_util.Units.log2 (max 2 t.assoc)))
+  + (t.size * 8)

@@ -1,0 +1,49 @@
+(** Instruction cache: set-associative, LRU, physically indexed by
+    line address. Tracks, per resident line, which 4-byte granules of
+    the line were consumed, to report the paper's line "usefulness"
+    metric (fraction of a fetched line's bytes that were actually
+    used before eviction). *)
+
+type t
+
+val create :
+  ?next_line_prefetch:bool -> size_bytes:int -> line_bytes:int -> assoc:int ->
+  unit -> t
+(** All three powers of two; [line_bytes >= 4]; at least one set.
+    With [next_line_prefetch] (default false), every demand miss also
+    fills the sequentially next line — the "fetch-directed" effect the
+    paper attributes to wide lines, as an explicit mechanism. *)
+
+val size_bytes : t -> int
+val line_bytes : t -> int
+val assoc : t -> int
+
+val access : t -> addr:int -> size:int -> bool
+(** Fetch [size] bytes at [addr] (one instruction, or the leading
+    slice of one). Returns [true] on hit. A miss allocates the line.
+    Instructions straddling a line boundary access both lines; the
+    result is a hit only if every touched line hits. *)
+
+val consume : t -> addr:int -> size:int -> unit
+(** Mark bytes as consumed from an already-resident line without
+    counting a cache access (sequential extraction within the current
+    fetch line). No-op for non-resident lines. *)
+
+val accesses : t -> int
+(** Number of line-level cache lookups performed so far. *)
+
+val misses : t -> int
+(** Demand misses only (prefetch fills are not counted). *)
+
+val prefetches : t -> int
+(** Prefetch fills issued (0 unless enabled). *)
+
+val useful_prefetches : t -> int
+(** Prefetched lines that later served a demand access. *)
+
+val usefulness : t -> float
+(** Mean fraction of bytes consumed per evicted (or still-resident)
+    fetched line, in [0,1]. [nan] before any fill. *)
+
+val reset_stats : t -> unit
+val storage_bits : t -> int

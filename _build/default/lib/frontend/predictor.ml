@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  predict : int -> bool;
+  update : int -> bool -> unit;
+  storage_bits : int;
+}
+
+let make ~name ~predict ~update ~storage_bits =
+  { name; predict; update; storage_bits }
+
+let storage_bytes t = (t.storage_bits + 7) / 8
+
+let pp_cost fmt t =
+  Format.fprintf fmt "%s (%s)" t.name
+    (Repro_util.Units.pp_bytes (storage_bytes t))

@@ -1,0 +1,34 @@
+type t = {
+  entries : int array;
+  mutable top : int; (* index of next free slot *)
+  mutable live : int;
+  mutable overflows : int;
+}
+
+let create ?(depth = 16) () =
+  if not (Repro_util.Units.is_power_of_two depth) then
+    invalid_arg "Ras.create: depth must be a power of two";
+  { entries = Array.make depth 0; top = 0; live = 0; overflows = 0 }
+
+let depth t = Array.length t.entries
+let occupancy t = t.live
+let overflows t = t.overflows
+
+let push t addr =
+  let d = depth t in
+  if t.live = d then t.overflows <- t.overflows + 1;
+  t.entries.(t.top) <- addr;
+  t.top <- (t.top + 1) land (d - 1);
+  if t.live < d then t.live <- t.live + 1
+
+let pop t =
+  if t.live = 0 then None
+  else begin
+    let d = depth t in
+    t.top <- (t.top + d - 1) land (d - 1);
+    t.live <- t.live - 1;
+    Some t.entries.(t.top)
+  end
+
+(* 48-bit return addresses. *)
+let storage_bits t = depth t * 48

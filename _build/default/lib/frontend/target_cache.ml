@@ -1,0 +1,32 @@
+type t = {
+  entries : int array; (* 0 = cold; targets are nonzero addresses *)
+  hist_targets : int;
+  mutable hist : int; (* folded recent-target hash *)
+}
+
+let create ?(entries = 512) ?(hist_targets = 4) () =
+  if not (Repro_util.Units.is_power_of_two entries) then
+    invalid_arg "Target_cache.create: entries";
+  if hist_targets < 1 || hist_targets > 16 then
+    invalid_arg "Target_cache.create: hist_targets";
+  { entries = Array.make entries 0; hist_targets; hist = 0 }
+
+let index t pc =
+  ((pc lsr 1) lxor t.hist lxor (t.hist lsr 8))
+  land (Array.length t.entries - 1)
+
+let predict t ~pc =
+  match t.entries.(index t pc) with 0 -> None | target -> Some target
+
+let update t ~pc ~target =
+  t.entries.(index t pc) <- target;
+  (* Fold the new target into the history: shift by a few bits per
+     recorded target so [hist_targets] recent targets influence the
+     index. *)
+  let bits_per = 16 / t.hist_targets in
+  (* Mix high and low target bits so nearby targets still perturb the
+     low index bits. *)
+  let mixed = (target lsr 2) lxor (target lsr 9) lxor (target lsr 17) in
+  t.hist <- ((t.hist lsl bits_per) lxor mixed) land 0xFFFF
+
+let storage_bits t = Array.length t.entries * 32

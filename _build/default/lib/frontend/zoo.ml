@@ -1,0 +1,63 @@
+let gshare_small () = Gshare.pack ~name:"gshare-small" (Gshare.create ~history_bits:13)
+let gshare_big () = Gshare.pack ~name:"gshare-big" (Gshare.create ~history_bits:16)
+
+let tournament_small () =
+  Tournament.pack ~name:"tournament-small"
+    (Tournament.create ~addr_bits:10 ~history_bits:8)
+
+let tournament_big () =
+  Tournament.pack ~name:"tournament-big"
+    (Tournament.create ~addr_bits:12 ~history_bits:14)
+
+let tage_small () =
+  let specs =
+    [ { Tage.hist_len = 4; index_bits = 8; tag_bits = 9 };
+      { Tage.hist_len = 16; index_bits = 8; tag_bits = 9 } ]
+  in
+  Tage.pack ~name:"tage-small" (Tage.create ~base_index_bits:12 specs)
+
+let tage_big () =
+  let specs =
+    Tage.geometric_specs ~n_tables:12 ~min_hist:4 ~max_hist:640 ~index_bits:9
+      ~tag_bits:11
+  in
+  Tage.pack ~name:"tage-big" (Tage.create ~base_index_bits:13 specs)
+
+let with_loop base = Loop_predictor.combine (Loop_predictor.create ()) base
+
+let base_makers =
+  [ ("gshare-big", gshare_big);
+    ("tournament-big", tournament_big);
+    ("tage-big", tage_big);
+    ("gshare-small", gshare_small);
+    ("tournament-small", tournament_small);
+    ("tage-small", tage_small) ]
+
+let all_names =
+  List.map fst base_makers
+  @ [ "L-gshare-small"; "L-tournament-small"; "L-tage-small" ]
+
+let perceptron () = Perceptron.pack (Perceptron.create ())
+let two_level () = Two_level.pack (Two_level.create ())
+
+let by_name name =
+  match List.assoc_opt name base_makers with
+  | Some mk -> mk ()
+  | None ->
+      (match String.index_opt name '-' with
+      | Some 1 when String.length name > 2 && name.[0] = 'L' ->
+          let base = String.sub name 2 (String.length name - 2) in
+          (match List.assoc_opt base base_makers with
+          | Some mk -> with_loop (mk ())
+          | None -> raise Not_found)
+      | Some _ | None -> raise Not_found)
+
+let extension_makers =
+  [ ("perceptron-128", perceptron); ("two-level-10.10", two_level) ]
+
+let extended_names = all_names @ List.map fst extension_makers
+
+let by_name_extended name =
+  match List.assoc_opt name extension_makers with
+  | Some mk -> mk ()
+  | None -> by_name name

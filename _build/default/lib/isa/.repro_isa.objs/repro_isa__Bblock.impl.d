@@ -1,0 +1,1 @@
+lib/isa/bblock.ml: Format Inst

@@ -1,0 +1,1 @@
+lib/isa/bblock.mli: Format Inst

@@ -1,0 +1,1 @@
+lib/isa/section.ml: Format

@@ -1,0 +1,1 @@
+lib/isa/trace.mli: Inst

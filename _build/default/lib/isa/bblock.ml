@@ -1,0 +1,27 @@
+type terminator = Fallthrough | Branch of Inst.kind
+
+type t = {
+  id : int;
+  addr : int;
+  size_bytes : int;
+  n_insts : int;
+  terminator : terminator;
+}
+
+let make ~id ~addr ~size_bytes ~n_insts terminator =
+  if n_insts < 1 then invalid_arg "Bblock.make: empty block";
+  if size_bytes < n_insts then invalid_arg "Bblock.make: impossible size";
+  (match terminator with
+  | Branch Inst.Plain -> invalid_arg "Bblock.make: Plain terminator"
+  | Branch _ | Fallthrough -> ());
+  { id; addr; size_bytes; n_insts; terminator }
+
+let end_addr t = t.addr + t.size_bytes
+let last_inst_addr t last_size = t.addr + t.size_bytes - last_size
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>bb%d@@0x%x %dB/%di %s@]" t.id t.addr t.size_bytes
+    t.n_insts
+    (match t.terminator with
+    | Fallthrough -> "fall"
+    | Branch k -> Inst.kind_to_string k)

@@ -1,0 +1,31 @@
+(** Static basic blocks: straight-line instruction runs as laid out in
+    the synthesized code image. A block records its address range, its
+    instruction count, and how it terminates. *)
+
+(** How control leaves the block. [Fallthrough] blocks end at a branch
+    *target* (a new block begins) without a branch of their own. *)
+type terminator =
+  | Fallthrough
+  | Branch of Inst.kind  (** invariant: never [Inst.Plain] *)
+
+type t = {
+  id : int;  (** unique within a code image *)
+  addr : int;  (** address of the first instruction *)
+  size_bytes : int;  (** total encoded size *)
+  n_insts : int;  (** number of instructions, at least 1 *)
+  terminator : terminator;
+}
+
+val make :
+  id:int -> addr:int -> size_bytes:int -> n_insts:int -> terminator -> t
+(** Validates the invariants ([n_insts >= 1], [size_bytes >= n_insts],
+    terminator never [Branch Plain]); raises [Invalid_argument]. *)
+
+val end_addr : t -> int
+(** First address past the block. *)
+
+val last_inst_addr : t -> int -> int
+(** [last_inst_addr t last_size] is the address of the final
+    (terminating) instruction given its encoded size. *)
+
+val pp : Format.formatter -> t -> unit

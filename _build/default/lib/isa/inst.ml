@@ -1,0 +1,48 @@
+type kind =
+  | Plain
+  | Cond_branch
+  | Uncond_direct
+  | Indirect_branch
+  | Call
+  | Indirect_call
+  | Return
+  | Syscall
+
+type t = {
+  mutable addr : int;
+  mutable size : int;
+  mutable kind : kind;
+  mutable taken : bool;
+  mutable target : int;
+  mutable section : Section.t;
+  mutable warmup : bool;
+}
+
+let make ?(kind = Plain) ?(taken = false) ?(target = 0)
+    ?(section = Section.Serial) ?(warmup = false) ~addr ~size () =
+  { addr; size; kind; taken; target; section; warmup }
+
+let clone t =
+  { addr = t.addr; size = t.size; kind = t.kind; taken = t.taken;
+    target = t.target; section = t.section; warmup = t.warmup }
+
+let is_branch t = t.kind <> Plain
+let is_conditional t = t.kind = Cond_branch
+let is_backward t = t.taken && t.target < t.addr
+
+let kind_to_string = function
+  | Plain -> "plain"
+  | Cond_branch -> "cond-branch"
+  | Uncond_direct -> "direct-jump"
+  | Indirect_branch -> "indirect-branch"
+  | Call -> "call"
+  | Indirect_call -> "indirect-call"
+  | Return -> "return"
+  | Syscall -> "syscall"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>0x%x %s %dB%s%s@]" t.addr (kind_to_string t.kind)
+    t.size
+    (if is_branch t then if t.taken then Printf.sprintf " -> 0x%x" t.target else " nt"
+     else "")
+    (match t.section with Section.Serial -> " [S]" | Section.Parallel -> " [P]")

@@ -1,0 +1,64 @@
+(** Dynamic instruction records.
+
+    This is the unit of observation of every analysis tool, mirroring
+    what a Pin analysis routine sees per instruction: address, size,
+    instruction class, branch outcome and target, and whether the
+    instruction executed inside a serial or a parallel code section.
+
+    For throughput, trace producers are allowed to reuse a single
+    mutable record across callback invocations; consumers must copy
+    ({!clone}) any instruction they retain past the callback. *)
+
+(** Instruction class. Branch classes follow the paper's Fig. 1
+    breakdown; conditional and unconditional direct branches are kept
+    distinct (the figure merges them as "direct branch"). *)
+type kind =
+  | Plain  (** any non-control-flow instruction *)
+  | Cond_branch  (** conditional direct branch *)
+  | Uncond_direct  (** unconditional direct jump *)
+  | Indirect_branch  (** indirect jump *)
+  | Call  (** direct call *)
+  | Indirect_call
+  | Return
+  | Syscall
+
+type t = {
+  mutable addr : int;  (** virtual address of the instruction *)
+  mutable size : int;  (** encoded size in bytes *)
+  mutable kind : kind;
+  mutable taken : bool;  (** branch outcome; [false] for non-branches *)
+  mutable target : int;  (** branch target when taken; [0] otherwise *)
+  mutable section : Section.t;
+  mutable warmup : bool;
+      (** startup/initialisation instruction: the paper fast-forwards
+          past initialisation ("starting from the first parallel
+          region"), so statistics tools ignore these, while footprint
+          and hardware-structure state still observe them *)
+}
+
+val make :
+  ?kind:kind ->
+  ?taken:bool ->
+  ?target:int ->
+  ?section:Section.t ->
+  ?warmup:bool ->
+  addr:int ->
+  size:int ->
+  unit ->
+  t
+(** Fresh instruction; defaults: [Plain], not taken, target 0, serial,
+    not warmup. *)
+
+val clone : t -> t
+(** Independent copy, safe to retain. *)
+
+val is_branch : t -> bool
+(** [true] for every class except [Plain]. Syscalls count as branches,
+    matching the paper's Fig. 1 accounting. *)
+
+val is_conditional : t -> bool
+val is_backward : t -> bool
+(** A taken branch whose target address precedes the branch address. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+type t = Serial | Parallel
+
+let equal a b =
+  match (a, b) with
+  | Serial, Serial | Parallel, Parallel -> true
+  | Serial, Parallel | Parallel, Serial -> false
+
+let to_string = function Serial -> "serial" | Parallel -> "parallel"
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let all = [ Serial; Parallel ]

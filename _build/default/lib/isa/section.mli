@@ -1,0 +1,12 @@
+(** Code-section tag: the paper separates every measurement into code
+    executed inside *serial* regions (only the master thread runs) and
+    *parallel* regions (all threads run; thread 0 is measured). *)
+
+type t = Serial | Parallel
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Both sections, in report order: serial first. *)

@@ -1,0 +1,40 @@
+type t = { run : (Inst.t -> unit) -> unit }
+
+let make run = { run }
+let iter t f = t.run f
+let of_list insts = { run = (fun f -> List.iter f insts) }
+let empty = { run = (fun _ -> ()) }
+let concat ts = { run = (fun f -> List.iter (fun t -> t.run f) ts) }
+let filter pred t = { run = (fun f -> t.run (fun i -> if pred i then f i)) }
+
+exception Stop
+
+let take n t =
+  let run f =
+    let seen = ref 0 in
+    try
+      t.run (fun i ->
+          if !seen >= n then raise Stop;
+          incr seen;
+          f i)
+    with Stop -> ()
+  in
+  { run }
+
+let count t =
+  let n = ref 0 in
+  t.run (fun _ -> incr n);
+  !n
+
+let section_counts t =
+  let serial = ref 0 and parallel = ref 0 in
+  t.run (fun i ->
+      match i.Inst.section with
+      | Section.Serial -> incr serial
+      | Section.Parallel -> incr parallel);
+  (!serial, !parallel)
+
+let to_list t =
+  let acc = ref [] in
+  t.run (fun i -> acc := Inst.clone i :: !acc);
+  List.rev !acc

@@ -1,0 +1,41 @@
+(** Streaming dynamic-instruction traces.
+
+    A trace is a push-based stream: a function that drives a callback
+    over every dynamic instruction in order. Traces are re-runnable
+    (each {!iter} restarts the underlying generator) and never
+    materialized, so multi-billion-instruction runs use constant
+    memory, like Pin's online analysis.
+
+    Producers may reuse one mutable {!Inst.t}; see {!Inst}. *)
+
+type t
+
+val make : ((Inst.t -> unit) -> unit) -> t
+(** [make run] wraps a generator. [run f] must call [f] once per
+    dynamic instruction, in program order, then return. *)
+
+val iter : t -> (Inst.t -> unit) -> unit
+(** Run the trace through a consumer. *)
+
+val of_list : Inst.t list -> t
+(** Test helper: trace over pre-built instructions (not copied). *)
+
+val empty : t
+
+val concat : t list -> t
+(** Traces run back to back. *)
+
+val filter : (Inst.t -> bool) -> t -> t
+(** Keep only matching instructions. *)
+
+val take : int -> t -> t
+(** At most the first [n] instructions; stops the producer early. *)
+
+val count : t -> int
+(** Number of dynamic instructions (runs the trace). *)
+
+val section_counts : t -> int * int
+(** [(serial, parallel)] instruction counts (runs the trace). *)
+
+val to_list : t -> Inst.t list
+(** Materialize with per-instruction copies. Test/debug use only. *)

@@ -1,0 +1,1 @@
+lib/uarch/cmp.ml: Float Frontend_config List Mcpat Repro_workload Timing

@@ -1,0 +1,1 @@
+lib/uarch/cmp.mli: Frontend_config Repro_workload

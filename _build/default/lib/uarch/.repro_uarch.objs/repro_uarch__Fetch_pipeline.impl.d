@@ -1,0 +1,1 @@
+lib/uarch/fetch_pipeline.ml: Frontend_config Repro_frontend Repro_isa

@@ -1,0 +1,1 @@
+lib/uarch/fetch_pipeline.mli: Frontend_config Repro_isa

@@ -1,0 +1,1 @@
+lib/uarch/frontend_config.ml: Format Printf Repro_frontend Repro_util

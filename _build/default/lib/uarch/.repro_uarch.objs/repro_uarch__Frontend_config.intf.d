@@ -1,0 +1,1 @@
+lib/uarch/frontend_config.mli: Format Repro_frontend

@@ -1,0 +1,1 @@
+lib/uarch/mcpat.ml: Cacti Frontend_config Repro_frontend

@@ -1,0 +1,1 @@
+lib/uarch/mcpat.mli: Frontend_config

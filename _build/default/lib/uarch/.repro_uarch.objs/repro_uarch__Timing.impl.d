@@ -1,0 +1,1 @@
+lib/uarch/timing.ml: Float Frontend_config List Repro_analysis Repro_isa

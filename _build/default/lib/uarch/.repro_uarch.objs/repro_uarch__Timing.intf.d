@@ -1,0 +1,1 @@
+lib/uarch/timing.mli: Frontend_config Repro_isa

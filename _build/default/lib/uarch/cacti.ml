@@ -1,0 +1,19 @@
+type fit = { k : float; e : float }
+
+let powerlaw_fit (x1, y1) (x2, y2) =
+  if x1 <= 0.0 || x2 <= 0.0 || y1 <= 0.0 || y2 <= 0.0 then
+    invalid_arg "Cacti.powerlaw_fit: non-positive anchor";
+  if x1 = x2 then invalid_arg "Cacti.powerlaw_fit: equal abscissae";
+  let e = log (y1 /. y2) /. log (x1 /. x2) in
+  let k = y1 /. (x1 ** e) in
+  { k; e }
+
+let eval { k; e } x = k *. (x ** e)
+let exponent f = f.e
+let coefficient f = f.k
+
+(* ~0.95 um^2/bit at 40nm including peripherals, with a small fixed
+   overhead for decoders and sense amplifiers. *)
+let sram_area_mm2 ~bits = (float_of_int bits *. 0.95e-6) +. 0.004
+
+let sram_leakage_w ~bits = (float_of_int bits *. 6.0e-8) +. 0.0003

@@ -1,0 +1,27 @@
+(** CACTI-like SRAM scaling model.
+
+    The paper publishes absolute area and power for each front-end
+    structure at two design points (Table III, McPAT + CACTI, 40nm).
+    We interpolate between and beyond those points with power-law fits
+    anchored exactly on the published pairs — the standard shape of
+    CACTI's size scaling — so design-space sweeps stay monotone and
+    the two named configurations reproduce Table III exactly. *)
+
+type fit
+
+val powerlaw_fit : float * float -> float * float -> fit
+(** [powerlaw_fit (x1, y1) (x2, y2)] is the [y = k * x^e] curve
+    through both anchors. Requires positive coordinates and
+    [x1 <> x2]. *)
+
+val eval : fit -> float -> float
+
+val exponent : fit -> float
+val coefficient : fit -> float
+
+val sram_area_mm2 : bits:int -> float
+(** Generic 40nm SRAM array area for structures without published
+    anchors: ~0.95 um^2 per bit plus peripheral overhead. *)
+
+val sram_leakage_w : bits:int -> float
+(** Generic 40nm leakage estimate for the same arrays. *)

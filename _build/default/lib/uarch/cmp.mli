@@ -1,0 +1,55 @@
+(** Chip-multiprocessor evaluation (paper Section V, Figs. 10 and 11).
+
+    A CMP is a master core plus worker cores. HPC benchmarks run one
+    thread per core (the master executes the serial sections and its
+    share of the parallel sections); SPEC INT runs sequentially on
+    the master. Execution time, average power, energy, energy-delay
+    and area are derived from the {!Timing} model, the
+    {!Mcpat} budgets, and the benchmark's scaling hints. *)
+
+type config = {
+  cname : string;
+  master : Frontend_config.t;
+  workers : Frontend_config.t;
+  n_workers : int;
+}
+
+val baseline_cmp : config
+(** 8 baseline cores ("Baseline CMP (8B)"). *)
+
+val tailored_cmp : config
+(** 8 tailored cores. *)
+
+val asymmetric_cmp : config
+(** 1 baseline + 7 tailored. *)
+
+val asymmetric_plus_cmp : config
+(** 1 baseline + 8 tailored — same area budget as {!baseline_cmp}. *)
+
+val standard_configs : config list
+(** The four Fig. 10 configurations, in the paper's order. *)
+
+type eval = {
+  time : float;  (** seconds (at the model's 2GHz clock) *)
+  power : float;  (** time-averaged watts, cores + private L2s *)
+  energy : float;  (** joules *)
+  ed : float;  (** energy-delay product *)
+  area : float;  (** mm^2, cores + private L2s *)
+}
+
+val n_cores : config -> int
+val area_mm2 : config -> float
+
+val evaluate : ?insts:int -> config -> Repro_workload.Profile.t -> eval
+(** Generate the benchmark, measure both core types' front-end rates
+    in one trace pass, and evaluate the CMP. The measured thread-0
+    parallel instruction count is multiplied by the thread count
+    (8) to recover total parallel work. *)
+
+val evaluate_many :
+  ?insts:int -> config list -> Repro_workload.Profile.t -> eval list
+(** All configurations against one benchmark, sharing the trace pass
+    (the per-core-type measurements are reused across configs). *)
+
+val relative : eval -> baseline:eval -> eval
+(** Field-wise ratio to a baseline evaluation. *)

@@ -1,0 +1,43 @@
+(** Cycle-approximate front-end pipeline model.
+
+    Where {!Timing} charges additive penalties per miss event, this
+    model walks the fetch unit cycle by cycle: each cycle delivers up
+    to [fetch_bytes] contiguous bytes from the current I-cache line;
+    taken branches redirect fetch; the BP, BTB and RAS decide how many
+    bubbles each control transfer costs:
+
+    - correctly-predicted direction with a BTB (or RAS) target hit:
+      zero-bubble redirect — the paper's "zero branch penalty" case;
+    - taken branch without a BTB target: decode-stage redirect
+      ({!btb_bubbles});
+    - direction misprediction: execute-stage flush ({!bp_bubbles});
+    - I-cache miss: L2 fill stall ({!icache_bubbles}).
+
+    Feeding the same trace through two configurations gives a
+    structural estimate of the front-end-bound cycle delta that is
+    independent of {!Timing}'s additivity assumption; the test suite
+    checks the two models agree on ordering. *)
+
+type t
+
+val create : ?fetch_bytes:int -> Frontend_config.t -> t
+(** [fetch_bytes] is the fetch-unit width (default 16, two 8-byte
+    slots — lean dual-issue class). *)
+
+val feed : t -> Repro_isa.Inst.t -> unit
+val observer : t -> Repro_isa.Inst.t -> unit
+
+val bp_bubbles : int
+val btb_bubbles : int
+val icache_bubbles : int
+
+val instructions : t -> int
+val cycles : t -> float
+(** Total front-end cycles: fetch cycles plus all bubbles. *)
+
+val frontend_cpi : t -> float
+(** [cycles / instructions]; the front-end bound on CPI. *)
+
+val breakdown : t -> (string * float) list
+(** Cycle shares by cause: ["fetch"], ["bp-flush"], ["btb-redirect"],
+    ["icache-miss"]. *)

@@ -1,0 +1,67 @@
+type bp_kind =
+  | Gshare of { history_bits : int }
+  | Tournament of { addr_bits : int; history_bits : int }
+  | Tage_small
+  | Tage_big
+
+type t = {
+  icache_bytes : int;
+  icache_line : int;
+  icache_assoc : int;
+  bp : bp_kind;
+  bp_loop : bool;
+  btb_entries : int;
+  btb_assoc : int;
+}
+
+let baseline =
+  { icache_bytes = 32 * 1024;
+    icache_line = 64;
+    icache_assoc = 4;
+    bp = Tournament { addr_bits = 12; history_bits = 14 };
+    bp_loop = false;
+    btb_entries = 2048;
+    btb_assoc = 4 }
+
+let tailored =
+  { icache_bytes = 16 * 1024;
+    icache_line = 128;
+    icache_assoc = 8;
+    bp = Tournament { addr_bits = 10; history_bits = 8 };
+    bp_loop = true;
+    btb_entries = 256;
+    btb_assoc = 8 }
+
+let base_bp t =
+  match t.bp with
+  | Gshare { history_bits } ->
+      Repro_frontend.Gshare.pack
+        ~name:(Printf.sprintf "gshare-%d" history_bits)
+        (Repro_frontend.Gshare.create ~history_bits)
+  | Tournament { addr_bits; history_bits } ->
+      Repro_frontend.Tournament.pack
+        ~name:(Printf.sprintf "tournament-%d-%d" addr_bits history_bits)
+        (Repro_frontend.Tournament.create ~addr_bits ~history_bits)
+  | Tage_small -> Repro_frontend.Zoo.tage_small ()
+  | Tage_big -> Repro_frontend.Zoo.tage_big ()
+
+let make_bp t =
+  let bp = base_bp t in
+  if t.bp_loop then Repro_frontend.Zoo.with_loop bp else bp
+
+let bp_bits t = (make_bp t).Repro_frontend.Predictor.storage_bits
+
+let name t =
+  Printf.sprintf "%s-I$/%dB %s%s BTB%d/%dw"
+    (Repro_util.Units.pp_bytes t.icache_bytes)
+    t.icache_line
+    (match t.bp with
+    | Gshare { history_bits } -> Printf.sprintf "gshare%d" history_bits
+    | Tournament { addr_bits; history_bits } ->
+        Printf.sprintf "tour%d.%d" addr_bits history_bits
+    | Tage_small -> "tage-s"
+    | Tage_big -> "tage-b")
+    (if t.bp_loop then "+LBP" else "")
+    t.btb_entries t.btb_assoc
+
+let pp fmt t = Format.pp_print_string fmt (name t)

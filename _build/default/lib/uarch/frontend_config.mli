@@ -1,0 +1,36 @@
+(** Front-end structure configurations: the tuple the paper sweeps —
+    I-cache geometry, branch predictor, and BTB geometry — plus the
+    two named design points of Section V. *)
+
+type bp_kind =
+  | Gshare of { history_bits : int }
+  | Tournament of { addr_bits : int; history_bits : int }
+  | Tage_small
+  | Tage_big
+
+type t = {
+  icache_bytes : int;
+  icache_line : int;
+  icache_assoc : int;
+  bp : bp_kind;
+  bp_loop : bool;  (** attach the 64-entry loop predictor *)
+  btb_entries : int;
+  btb_assoc : int;
+}
+
+val baseline : t
+(** The paper's baseline lean core: 32KB/64B-line 4-way I-cache, 16KB
+    tournament predictor, 2K-entry 4-way BTB. *)
+
+val tailored : t
+(** The paper's HPC-tailored core: 16KB/128B-line 8-way I-cache, 2KB
+    tournament predictor + loop BP, 256-entry 8-way BTB. *)
+
+val make_bp : t -> Repro_frontend.Predictor.t
+(** Fresh predictor instance for this configuration. *)
+
+val bp_bits : t -> int
+(** Hardware budget of the predictor (incl. loop predictor). *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+module A = Repro_analysis
+
+type rates = { bp_mpki : float; btb_mpki : float; icache_mpki : float }
+
+type measurement = {
+  serial : rates;
+  parallel : rates;
+  total : rates;
+  serial_insts : int;
+  parallel_insts : int;
+}
+
+let zero_if_nan x = if Float.is_nan x then 0.0 else x
+
+let measure_many cfgs trace =
+  let sims =
+    List.map
+      (fun (cfg : Frontend_config.t) ->
+        let bp = A.Bp_sim.create (Frontend_config.make_bp cfg) in
+        let btb =
+          A.Btb_sim.create ~entries:cfg.btb_entries ~assoc:cfg.btb_assoc
+        in
+        let ic =
+          A.Icache_sim.create ~size_bytes:cfg.icache_bytes
+            ~line_bytes:cfg.icache_line ~assoc:cfg.icache_assoc ()
+        in
+        (bp, btb, ic))
+      cfgs
+  in
+  let observers =
+    List.concat_map
+      (fun (bp, btb, ic) ->
+        [ A.Bp_sim.observer bp; A.Btb_sim.observer btb;
+          A.Icache_sim.observer ic ])
+      sims
+  in
+  A.Tool.run_all trace observers;
+  List.map
+    (fun (bp, btb, ic) ->
+      let rates scope =
+        { bp_mpki = zero_if_nan (A.Bp_sim.mpki bp scope);
+          btb_mpki = zero_if_nan (A.Btb_sim.mpki btb scope);
+          icache_mpki = zero_if_nan (A.Icache_sim.mpki ic scope) }
+      in
+      let serial_scope = A.Branch_mix.Only Repro_isa.Section.Serial in
+      let parallel_scope = A.Branch_mix.Only Repro_isa.Section.Parallel in
+      { serial = rates serial_scope;
+        parallel = rates parallel_scope;
+        total = rates A.Branch_mix.Total;
+        serial_insts = A.Bp_sim.insts bp serial_scope;
+        parallel_insts = A.Bp_sim.insts bp parallel_scope })
+    sims
+
+let measure cfg trace =
+  match measure_many [ cfg ] trace with
+  | [ m ] -> m
+  | _ -> assert false
+
+let base_cpi = 0.62
+let bp_penalty = 12.0
+let btb_penalty = 7.0
+let icache_penalty = 16.0
+
+let cpi ~data_stall rates =
+  base_cpi +. data_stall
+  +. (rates.bp_mpki /. 1000.0 *. bp_penalty)
+  +. (rates.btb_mpki /. 1000.0 *. btb_penalty)
+  +. (rates.icache_mpki /. 1000.0 *. icache_penalty)

@@ -1,0 +1,42 @@
+(** Front-end-aware core timing model (the Sniper substitute).
+
+    The paper uses Sniper only to translate front-end miss-rate
+    differences into execution-time differences on Cortex-A9-like
+    cores. This model does exactly that translation: a base CPI for
+    the dual-issue lean core, a per-benchmark data-side stall term
+    (from {!Repro_workload.Profile.perf_hints}), plus the measured
+    front-end event rates weighted by their penalties. *)
+
+type rates = { bp_mpki : float; btb_mpki : float; icache_mpki : float }
+
+type measurement = {
+  serial : rates;
+  parallel : rates;
+  total : rates;
+  serial_insts : int;
+  parallel_insts : int;
+}
+
+val measure_many :
+  Frontend_config.t list -> Repro_isa.Trace.t -> measurement list
+(** Simulate all configurations over one pass of the trace. *)
+
+val measure : Frontend_config.t -> Repro_isa.Trace.t -> measurement
+
+(** {1 CPI model} *)
+
+val base_cpi : float
+(** Issue-limited CPI of the lean core with a perfect front-end. *)
+
+val bp_penalty : float
+(** Cycles per branch misprediction (12, per the paper's Table III). *)
+
+val btb_penalty : float
+(** Cycles per taken-branch target miss (fetch redirect). *)
+
+val icache_penalty : float
+(** Cycles per I-cache miss (L2 hit latency). *)
+
+val cpi : data_stall:float -> rates -> float
+(** [cpi ~data_stall rates] combines base CPI, the benchmark's
+    data-side stalls, and front-end penalties. *)

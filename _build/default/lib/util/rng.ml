@@ -1,0 +1,83 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits in a non-negative native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let float t bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let range t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 1
+  else
+    let u = float t 1.0 in
+    (* Inverse-CDF; clamp to avoid log 0. *)
+    let u = if u <= 0.0 then 1e-300 else u in
+    1 + int_of_float (floor (log u /. log (1.0 -. p)))
+
+let gaussian t =
+  let rec draw () =
+    let u = float t 1.0 in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let log_normal t ~mu ~sigma = exp (mu +. (sigma *. gaussian t))
+
+let choose_weighted t items =
+  assert (Array.length items > 0);
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 items in
+  assert (total > 0.0);
+  let x = float t total in
+  let rec go i acc =
+    if i = Array.length items - 1 then snd items.(i)
+    else
+      let w, v = items.(i) in
+      let acc = acc +. w in
+      if x < acc then v else go (i + 1) acc
+  in
+  go 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,59 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All stochastic choices in the workload substrate flow through this
+    module so that every experiment is exactly reproducible from a seed.
+    The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a
+    64-bit state advanced by a Weyl constant and finalized with a
+    variant of the MurmurHash3 finalizer. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the parent's subsequent output. Used to
+    give every benchmark / code region its own stream so that adding
+    draws in one place never perturbs another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] inclusive. Requires [lo <= hi]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] draws from a geometric distribution with success
+    probability [p]; result is the number of trials, at least 1.
+    Requires [0 < p <= 1]. *)
+
+val log_normal : t -> mu:float -> sigma:float -> float
+(** Log-normal draw: [exp (mu + sigma * z)] for a standard normal [z]. *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val choose_weighted : t -> (float * 'a) array -> 'a
+(** [choose_weighted t items] picks an element with probability
+    proportional to its weight. Requires a non-empty array with a
+    positive total weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,25 @@
+let kib n = n * 1024
+let to_kib bytes = float_of_int bytes /. 1024.0
+
+let pp_bytes bytes =
+  if bytes < 1024 then Printf.sprintf "%dB" bytes
+  else if bytes < 1024 * 1024 then
+    let k = to_kib bytes in
+    if Float.is_integer k then Printf.sprintf "%.0fKB" k
+    else Printf.sprintf "%.1fKB" k
+  else
+    let m = float_of_int bytes /. (1024.0 *. 1024.0) in
+    if Float.is_integer m then Printf.sprintf "%.0fMB" m
+    else Printf.sprintf "%.1fMB" m
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_power_of_two n) then invalid_arg "Units.log2: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let round_up_pow2 n =
+  if n <= 0 then invalid_arg "Units.round_up_pow2: non-positive";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1

@@ -1,0 +1,20 @@
+(** Byte-size arithmetic and formatting (KiB-based, as the paper's
+    "KB" figures are power-of-two structure sizes). *)
+
+val kib : int -> int
+(** [kib n] is [n * 1024] bytes. *)
+
+val to_kib : int -> float
+(** Bytes to KiB as a float. *)
+
+val pp_bytes : int -> string
+(** Human form: ["512B"], ["16KB"], ["1.5MB"]. *)
+
+val is_power_of_two : int -> bool
+
+val log2 : int -> int
+(** Integer log2 of a positive power of two; raises [Invalid_argument]
+    otherwise. *)
+
+val round_up_pow2 : int -> int
+(** Smallest power of two >= the argument (argument must be positive). *)

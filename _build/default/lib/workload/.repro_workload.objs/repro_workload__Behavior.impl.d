@@ -1,0 +1,1 @@
+lib/workload/behavior.ml: Array Repro_util

@@ -1,0 +1,1 @@
+lib/workload/behavior.mli: Repro_util

@@ -1,0 +1,1 @@
+lib/workload/codegen.ml: Array Behavior Float Fun List Printf Profile Program Repro_util

@@ -1,0 +1,1 @@
+lib/workload/executor.ml: Array Behavior Bool Codegen List Option Profile Program Repro_isa Repro_util Trip

@@ -1,0 +1,1 @@
+lib/workload/executor.mli: Profile Program Repro_isa

@@ -1,0 +1,1 @@
+lib/workload/profile.ml: Format List Printf Repro_util Result Suite Trip

@@ -1,0 +1,1 @@
+lib/workload/profile_io.ml: In_channel List Out_channel Printf Profile Result String Suite Suites Trip

@@ -1,0 +1,1 @@
+lib/workload/program.ml: Array Behavior List Repro_util Trip

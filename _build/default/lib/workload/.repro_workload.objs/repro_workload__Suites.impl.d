@@ -1,0 +1,1 @@
+lib/workload/suites.ml: List Profile String Suite Trip

@@ -1,0 +1,1 @@
+lib/workload/trip.ml: Float Format Repro_util

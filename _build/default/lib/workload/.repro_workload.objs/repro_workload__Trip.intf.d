@@ -1,0 +1,1 @@
+lib/workload/trip.mli: Format Repro_util

@@ -1,0 +1,70 @@
+type t =
+  | Bernoulli of float
+  | Periodic of { pattern : bool array; mutable pos : int }
+  | Correlated of { hist_bits : int; salt : int; noise : float }
+  | Path_dependent of { outcomes : bool array; noise : float }
+
+let bernoulli ~p =
+  assert (p >= 0.0 && p <= 1.0);
+  Bernoulli p
+
+let periodic ~pattern =
+  if Array.length pattern = 0 then invalid_arg "Behavior.periodic: empty";
+  Periodic { pattern; pos = 0 }
+
+let correlated ~hist_bits ~salt ~noise =
+  assert (hist_bits >= 1 && hist_bits <= 24);
+  assert (noise >= 0.0 && noise <= 1.0);
+  Correlated { hist_bits; salt; noise }
+
+let path_dependent ~outcomes ~noise =
+  if Array.length outcomes = 0 then invalid_arg "Behavior.path_dependent";
+  assert (noise >= 0.0 && noise <= 1.0);
+  Path_dependent { outcomes; noise }
+
+let parity x =
+  let rec go acc x = if x = 0 then acc else go (acc lxor (x land 1)) (x lsr 1) in
+  go 0 x = 1
+
+let next t rng ~global_hist ~path =
+  ignore path;
+  match t with
+  | Bernoulli p -> Repro_util.Rng.bernoulli rng p
+  | Periodic s ->
+      let out = s.pattern.(s.pos) in
+      s.pos <- (s.pos + 1) mod Array.length s.pattern;
+      out
+  | Correlated { hist_bits; salt; noise } ->
+      let window = global_hist land ((1 lsl hist_bits) - 1) in
+      let base = parity (window lxor (salt land window) lxor (salt lsr 3)) in
+      if noise > 0.0 && Repro_util.Rng.bernoulli rng noise then not base
+      else base
+  | Path_dependent { outcomes; noise } ->
+      let base = outcomes.(path mod Array.length outcomes) in
+      if noise > 0.0 && Repro_util.Rng.bernoulli rng noise then not base
+      else base
+
+let mean_rate = function
+  | Bernoulli p -> p
+  | Path_dependent { outcomes; _ } ->
+      (* Assuming the executor's default Zipf-like path weights. *)
+      let k = Array.length outcomes in
+      let weights = Array.init k (fun i -> 1.0 /. float_of_int (i + 1)) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let acc = ref 0.0 in
+      Array.iteri (fun i o -> if o then acc := !acc +. weights.(i)) outcomes;
+      !acc /. total
+  | Periodic { pattern; _ } ->
+      let ones = Array.fold_left (fun n b -> if b then n + 1 else n) 0 pattern in
+      float_of_int ones /. float_of_int (Array.length pattern)
+  | Correlated _ -> 0.5
+
+let reset = function
+  | Bernoulli _ | Correlated _ | Path_dependent _ -> ()
+  | Periodic s -> s.pos <- 0
+
+let clone_fresh = function
+  | Bernoulli p -> Bernoulli p
+  | Periodic { pattern; _ } -> Periodic { pattern = Array.copy pattern; pos = 0 }
+  | Correlated c -> Correlated c
+  | Path_dependent d -> Path_dependent d

@@ -1,0 +1,59 @@
+(** Outcome models for synthesized conditional branches.
+
+    Each static branch site in a generated program carries one of
+    these models; at execution time {!next} produces the dynamic
+    direction. The mixture of models per benchmark is what shapes the
+    bias histogram (paper Fig. 2) and the predictability gap between
+    small and big history-based predictors (Fig. 5):
+
+    - {!const:Bernoulli} branches have a fixed taken probability: highly
+      biased sites (p near 0 or 1) are trivially predictable, mid-range
+      sites are hard for every predictor;
+    - [Periodic] branches repeat a fixed short pattern: predictable by
+      any predictor whose history reach covers the period;
+    - [Correlated] branches compute their outcome from the recent
+      global outcome history: predictable only by global-history
+      predictors with enough reach (and enough table space to avoid
+      aliasing — this is where small gshare loses to TAGE);
+    - [Path_dependent] branches take a fixed direction per control-flow
+      path: the executor draws a path id per loop iteration from a
+      small skewed set, and every path-dependent site in that
+      iteration follows its per-path direction. This reproduces the
+      *correlated branch ensembles* of real code: history entropy
+      stays bounded (paths repeat), so history predictors can learn
+      even thousands of such sites, while per-site bias lands in the
+      middle of the Fig. 2 histogram. *)
+
+type t
+
+val bernoulli : p:float -> t
+(** Independent draws, [P(taken) = p]. *)
+
+val periodic : pattern:bool array -> t
+(** Deterministic repetition of [pattern] (non-empty). *)
+
+val correlated : hist_bits:int -> salt:int -> noise:float -> t
+(** Outcome is a hash (parity, salted) of the last [hist_bits] global
+    outcomes, flipped with probability [noise]. [hist_bits <= 24]. *)
+
+val path_dependent : outcomes:bool array -> noise:float -> t
+(** One fixed direction per control-flow path (non-empty array; the
+    executor's current path id indexes it, wrapped), flipped with
+    probability [noise]. *)
+
+val next : t -> Repro_util.Rng.t -> global_hist:int -> path:int -> bool
+(** Draw the next outcome. [global_hist] packs recent conditional
+    outcomes (bit 0 = most recent) and is read by [Correlated];
+    [path] is the executor's current control-flow path id, read by
+    [Path_dependent]. *)
+
+val mean_rate : t -> float
+(** Long-run expected taken rate (0.5 for correlated branches). *)
+
+val clone_fresh : t -> t
+(** Copy with private mutable state reset, so each trace replay
+    starts identically. *)
+
+val reset : t -> unit
+(** Reset private mutable state in place (periodic phase back to the
+    pattern start). Used before each trace replay. *)

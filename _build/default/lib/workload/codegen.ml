@@ -1,0 +1,388 @@
+module Rng = Repro_util.Rng
+
+(* Mutable generation context: id counters and the per-benchmark
+   deterministic random stream. *)
+type ctx = {
+  rng : Rng.t;
+  mutable next_bid : int;
+  mutable next_pid : int;
+}
+
+let fresh_bid ctx =
+  let id = ctx.next_bid in
+  ctx.next_bid <- id + 1;
+  id
+
+let fresh_pid ctx =
+  let id = ctx.next_pid in
+  ctx.next_pid <- id + 1;
+  id
+
+(* Encoded instruction sizes: log-normal around the section's average,
+   clamped to x86-like bounds. *)
+let draw_inst_sizes ctx ~n ~avg =
+  let sigma = 0.38 in
+  let mu = log avg -. (sigma *. sigma /. 2.0) in
+  Array.init n (fun _ ->
+      let s = Rng.log_normal ctx.rng ~mu ~sigma in
+      let s = int_of_float (Float.round s) in
+      if s < 1 then 1 else if s > 14 then 14 else s)
+
+let block ctx ~insts ~avg ~term =
+  { Program.bid = fresh_bid ctx;
+    addr = 0;
+    inst_sizes = draw_inst_sizes ctx ~n:(max 1 insts) ~avg;
+    term }
+
+(* A conditional site with an outcome model drawn from the section's
+   behaviour mixture. *)
+let draw_behavior ctx (s : Profile.section) =
+  let u = Rng.float ctx.rng 1.0 in
+  if u < s.path_share then begin
+    let outcomes =
+      Array.init s.n_paths (fun _ ->
+          Rng.bernoulli ctx.rng s.path_taken_rate)
+    in
+    Behavior.path_dependent ~outcomes ~noise:s.path_noise
+  end
+  else if u < s.path_share +. s.periodic_share then begin
+    let lo, hi = s.periodic_len in
+    let len = Rng.range ctx.rng lo hi in
+    let pattern = Array.init len (fun _ -> Rng.bool ctx.rng) in
+    (* Guarantee a mixed pattern so the site is not simply biased. *)
+    if Array.for_all Fun.id pattern then pattern.(0) <- false
+    else if Array.for_all not pattern then pattern.(0) <- true;
+    Behavior.periodic ~pattern
+  end
+  else if u < s.path_share +. s.periodic_share +. s.correlated_share then
+    Behavior.correlated ~hist_bits:s.correlated_bits
+      ~salt:(Rng.int ctx.rng 0x7FFFFF)
+      ~noise:s.correlated_noise
+  else begin
+    let ranges = Array.of_list (List.map (fun (w, r) -> (w, r)) s.bias_mix) in
+    let lo, hi = Rng.choose_weighted ctx.rng ranges in
+    Behavior.bernoulli ~p:(lo +. Rng.float ctx.rng (hi -. lo))
+  end
+
+let cond_term behavior =
+  Program.Cond { ctarget = 0; cbehavior = behavior }
+
+(* Leaf callee: one or two straight blocks and a return. *)
+let make_callee ctx (s : Profile.section) =
+  let lo, hi = s.callee_insts in
+  let insts = Rng.range ctx.rng lo hi in
+  let body_block = block ctx ~insts ~avg:s.avg_inst_bytes ~term:Program.Fall in
+  { Program.pid = fresh_pid ctx;
+    pname = Printf.sprintf "leaf_%d" ctx.next_pid;
+    entry = 0;
+    pbody = [ Program.Basic body_block ];
+    pret = block ctx ~insts:1 ~avg:s.avg_inst_bytes ~term:Program.Ret }
+
+(* Expected extra dynamic instructions contributed by one call site
+   per execution: the call itself, the callee body, its return. *)
+let call_cost (s : Profile.section) =
+  let lo, hi = s.callee_insts in
+  1.0 +. (float_of_int (lo + hi) /. 2.0) +. 1.0
+
+let expected_kernel_iteration_insts (s : Profile.section) =
+  let branches_per_iter =
+    1.0 (* loop back-edge *)
+    +. s.if_density
+    +. (s.if_density *. s.else_share) (* skip jumps *)
+    +. (s.call_density *. 2.0)
+  in
+  branches_per_iter /. s.branch_fraction
+
+(* Plain (non-branch) instructions available to the inner body blocks
+   once branch and callee instructions are budgeted. *)
+let body_plain_insts (s : Profile.section) =
+  let total = expected_kernel_iteration_insts s in
+  let callee_plain = s.call_density *. (call_cost s -. 2.0) in
+  let branch_insts =
+    1.0 +. s.if_density +. (s.if_density *. s.else_share)
+    +. (s.call_density *. 2.0)
+  in
+  let plain = total -. callee_plain -. branch_insts in
+  Float.max 2.0 plain
+
+(* One if-statement: a cond block whose taken direction skips the
+   then-arm (or selects the else-arm). The arm on the branch's common
+   path gets [arm_insts] live instructions; for strongly-biased sites
+   the rarely-visited arm is a *dead* chunk sized from
+   [dead_arm_insts] — code bytes that occupy I-cache lines without
+   executing, as desktop error paths do. *)
+let make_if ctx (s : Profile.section) ~arm_insts =
+  let behavior = draw_behavior ctx s in
+  let rate = Behavior.mean_rate behavior in
+  let icond =
+    block ctx ~insts:1 ~avg:s.avg_inst_bytes ~term:(cond_term (Some behavior))
+  in
+  let live () =
+    block ctx ~insts:(max 1 arm_insts) ~avg:s.avg_inst_bytes ~term:Program.Fall
+  in
+  let dead () =
+    let lo, hi = s.dead_arm_insts in
+    block ctx ~insts:(Rng.range ctx.rng lo hi) ~avg:s.avg_inst_bytes
+      ~term:Program.Fall
+  in
+  if Rng.bernoulli ctx.rng s.else_share then begin
+    let skip =
+      block ctx ~insts:1 ~avg:s.avg_inst_bytes
+        ~term:(Program.Jump { jtarget = 0 })
+    in
+    (* taken selects the else-arm: rate < 0.3 means the then-arm is
+       the hot path and the else-arm is cold; rate > 0.7 the reverse. *)
+    let then_block = if rate > 0.7 then dead () else live () in
+    let else_block = if rate < 0.3 then dead () else live () in
+    { Program.icond;
+      ithen = [ Program.Basic then_block ];
+      ielse = [ Program.Basic else_block ];
+      iskip = Some skip }
+  end
+  else
+    { Program.icond;
+      ithen = [ Program.Basic (if rate > 0.7 then dead () else live ()) ];
+      ielse = [];
+      iskip = None }
+
+let make_call_site ctx (s : Profile.section) ~callees =
+  let indirect = Rng.bernoulli ctx.rng s.indirect_call_share in
+  let targets =
+    if indirect && Array.length callees >= 2 then begin
+      let n = min (Array.length callees) (Rng.range ctx.rng 3 5) in
+      let pool = Array.copy callees in
+      Rng.shuffle ctx.rng pool;
+      Array.sub pool 0 (max 2 n)
+    end
+    else [| callees.(Rng.int ctx.rng (Array.length callees)) |]
+  in
+  block ctx ~insts:1 ~avg:s.avg_inst_bytes
+    ~term:(Program.Callt { targets; csel = None })
+
+(* Inner loop: body blocks with embedded ifs and call sites, closed by
+   a backward conditional driven by the loop trip count. *)
+let make_inner_loop ctx (s : Profile.section) ~callees =
+  let lo, hi = s.body_blocks in
+  let n_blocks = Rng.range ctx.rng lo hi in
+  let n_ifs =
+    let base = int_of_float s.if_density in
+    base + if Rng.bernoulli ctx.rng (s.if_density -. float_of_int base) then 1 else 0
+  in
+  let n_calls =
+    let base = int_of_float s.call_density in
+    base
+    + if Rng.bernoulli ctx.rng (s.call_density -. float_of_int base) then 1 else 0
+  in
+  let plain = body_plain_insts s in
+  (* [arm_weight] of the plain budget lives in if-arms (only one arm
+     executes per pass), the rest in the straight-line body blocks. *)
+  let arm_insts =
+    if n_ifs = 0 then 1
+    else max 1 (int_of_float (plain *. s.arm_weight /. float_of_int n_ifs))
+  in
+  let body_budget =
+    Float.max (float_of_int n_blocks) (plain *. (1.0 -. s.arm_weight))
+  in
+  let per_block = max 1 (int_of_float (body_budget /. float_of_int n_blocks)) in
+  let stmts = ref [] in
+  let add s = stmts := s :: !stmts in
+  for i = 0 to n_blocks - 1 do
+    add
+      (Program.Basic
+         (block ctx ~insts:per_block ~avg:s.avg_inst_bytes ~term:Program.Fall));
+    (* Interleave ifs and calls across the body deterministically. *)
+    if i < n_ifs then add (Program.If (make_if ctx s ~arm_insts));
+    if i < n_calls then add (Program.Call_site (make_call_site ctx s ~callees))
+  done;
+  (* Any ifs/calls beyond the block count still get appended. *)
+  for _ = n_blocks to n_ifs - 1 do
+    add (Program.If (make_if ctx s ~arm_insts))
+  done;
+  for _ = n_blocks to n_calls - 1 do
+    add (Program.Call_site (make_call_site ctx s ~callees))
+  done;
+  let back =
+    block ctx ~insts:1 ~avg:s.avg_inst_bytes
+      ~term:(cond_term None (* trip-driven *))
+  in
+  { Program.lbody = List.rev !stmts; lback = back; ltrip = s.inner_trip }
+
+(* A hot kernel: outer loop over inner loops, with an optional rare
+   excursion into cold library code once per outer iteration. *)
+let make_kernel ctx (s : Profile.section) ~name ~byte_budget ~callees ~cold =
+  let inner = ref [] in
+  let bytes = ref 0 in
+  let stmt_bytes st =
+    let sum = ref 0 in
+    Program.iter_stmt_blocks st (fun b -> sum := !sum + Program.block_bytes b);
+    !sum
+  in
+  let lo, _hi = s.inner_loops in
+  let continue () =
+    List.length !inner < lo || (!bytes < byte_budget && List.length !inner < 256)
+  in
+  while continue () do
+    let l = Program.Loop (make_inner_loop ctx s ~callees) in
+    bytes := !bytes + stmt_bytes l;
+    inner := l :: !inner
+  done;
+  let outer_body =
+    if s.cold_excursion > 0.0 && Array.length cold > 0 then begin
+      let excursion_call =
+        block ctx ~insts:1 ~avg:s.avg_inst_bytes
+          ~term:
+            (Program.Callt
+               { targets = [| cold.(Rng.int ctx.rng (Array.length cold)) |];
+                 csel = None })
+      in
+      let icond =
+        block ctx ~insts:1 ~avg:s.avg_inst_bytes
+          ~term:(cond_term (Some (Behavior.bernoulli ~p:s.cold_excursion)))
+      in
+      let skip =
+        block ctx ~insts:1 ~avg:s.avg_inst_bytes
+          ~term:(Program.Jump { jtarget = 0 })
+      in
+      (* taken (rare) selects the else-arm holding the excursion call *)
+      Program.If
+        { icond;
+          ithen = [];
+          ielse = [ Program.Call_site excursion_call ];
+          iskip = Some skip }
+      :: List.rev !inner
+    end
+    else List.rev !inner
+  in
+  let outer_back =
+    block ctx ~insts:1 ~avg:s.avg_inst_bytes ~term:(cond_term None)
+  in
+  { Program.pid = fresh_pid ctx;
+    pname = name;
+    entry = 0;
+    pbody =
+      [ Program.Loop { lbody = outer_body; lback = outer_back; ltrip = s.outer_trip } ];
+    pret = block ctx ~insts:1 ~avg:s.avg_inst_bytes ~term:Program.Ret }
+
+(* Cold straight-line procedure of roughly [bytes] code bytes. *)
+let make_cold_proc ctx ~bytes =
+  let avg = 4.4 in
+  let stmts = ref [] in
+  let acc = ref 0 in
+  while !acc < bytes - 64 do
+    let insts = Rng.range ctx.rng 4 24 in
+    let b = block ctx ~insts ~avg ~term:Program.Fall in
+    acc := !acc + Program.block_bytes b;
+    stmts := Program.Basic b :: !stmts
+  done;
+  { Program.pid = fresh_pid ctx;
+    pname = Printf.sprintf "cold_%d" ctx.next_pid;
+    entry = 0;
+    pbody = List.rev !stmts;
+    pret = block ctx ~insts:1 ~avg ~term:Program.Ret }
+
+let section_kernels ctx (s : Profile.section) ~prefix ~callees ~cold =
+  let per_kernel_bytes =
+    int_of_float (s.hot_kb *. 1024.0) / max 1 s.n_kernels
+  in
+  Array.init s.n_kernels (fun i ->
+      make_kernel ctx s
+        ~name:(Printf.sprintf "%s_kernel_%d" prefix i)
+        ~byte_budget:per_kernel_bytes ~callees ~cold)
+
+let generate (p : Profile.t) =
+  (match Profile.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Codegen.generate: " ^ msg));
+  let ctx = { rng = Rng.create p.seed; next_bid = 0; next_pid = 0 } in
+  (* Callee pools, one per section. *)
+  let make_pool (s : Profile.section) =
+    Array.init (max 2 s.callee_pool) (fun _ -> make_callee ctx s)
+  in
+  let serial_callees = make_pool p.serial in
+  let parallel_callees = make_pool p.parallel in
+  (* Cold code fills the static budget. *)
+  let hot_estimate =
+    (p.serial.hot_kb +. p.parallel.hot_kb) *. 1024.0
+  in
+  let cold_bytes =
+    max 2048 (int_of_float ((p.static_kb *. 1024.0) -. hot_estimate))
+  in
+  let cold = ref [] in
+  let remaining = ref cold_bytes in
+  while !remaining > 512 do
+    let sz = min !remaining (1024 + Rng.int ctx.rng 3072) in
+    let proc = make_cold_proc ctx ~bytes:sz in
+    remaining := !remaining - Program.proc_bytes proc;
+    cold := proc :: !cold
+  done;
+  let cold = Array.of_list (List.rev !cold) in
+  let serial_kernels =
+    section_kernels ctx p.serial ~prefix:"serial" ~callees:serial_callees ~cold
+  in
+  let parallel_kernels =
+    section_kernels ctx p.parallel ~prefix:"parallel" ~callees:parallel_callees
+      ~cold
+  in
+  (* Driver: call sites for every kernel plus a syscall block. *)
+  let call_block kernel =
+    block ctx ~insts:2 ~avg:4.4
+      ~term:(Program.Callt { targets = [| kernel |]; csel = None })
+  in
+  let serial_calls = Array.map call_block serial_kernels in
+  let parallel_calls = Array.map call_block parallel_kernels in
+  let sys_block = block ctx ~insts:1 ~avg:4.4 ~term:Program.Sys in
+  let driver =
+    { Program.pid = fresh_pid ctx;
+      pname = "main";
+      entry = 0;
+      pbody =
+        List.map (fun b -> Program.Call_site b)
+          (Array.to_list serial_calls @ Array.to_list parallel_calls)
+        @ [ Program.Basic sys_block ];
+      pret = block ctx ~insts:1 ~avg:4.4 ~term:Program.Ret }
+  in
+  (* Interleave cold library code between the hot procedures, as a
+     linked binary does: calls and excursions then cross large address
+     ranges instead of staying in one dense hot region. *)
+  let hot_procs =
+    (driver :: Array.to_list serial_kernels)
+    @ Array.to_list parallel_kernels
+    @ Array.to_list serial_callees
+    @ Array.to_list parallel_callees
+  in
+  let cold_list = Array.to_list cold in
+  let procs =
+    let n_hot = List.length hot_procs and n_cold = List.length cold_list in
+    if n_cold = 0 then hot_procs
+    else begin
+      let per = max 1 (n_cold / max 1 n_hot) in
+      let rec weave hot cold =
+        match hot with
+        | [] -> cold
+        | h :: hs ->
+            let rec take k l =
+              if k = 0 then ([], l)
+              else
+                match l with
+                | [] -> ([], [])
+                | x :: xs ->
+                    let t, rest = take (k - 1) xs in
+                    (x :: t, rest)
+            in
+            let chunk, rest = take per cold in
+            (h :: chunk) @ weave hs rest
+      in
+      weave hot_procs cold_list
+    end
+  in
+  let program =
+    { Program.name = p.name;
+      image_end = 0;
+      procs;
+      cold_procs = cold;
+      serial_kernels;
+      parallel_kernels;
+      driver }
+  in
+  Program.layout ~base:0x400000 ~align:p.proc_align program;
+  program

@@ -1,0 +1,19 @@
+(** Program synthesis: turn a {!Profile.t} into a laid-out
+    {!Program.t}.
+
+    The generator builds hot loop-nest kernels for the serial and the
+    parallel sections (sized to the profile's hot-code budgets, with
+    per-iteration instruction counts solved so the dynamic branch
+    fraction lands on its target), a pool of leaf callees, cold
+    library/startup procedures filling the static-code budget, and a
+    driver procedure holding the kernel call sites. Generation is
+    deterministic in [profile.seed]. *)
+
+val generate : Profile.t -> Program.t
+(** Build and lay out the program image. Raises [Invalid_argument]
+    when the profile fails {!Profile.validate}. *)
+
+val expected_kernel_iteration_insts : Profile.section -> float
+(** The generator's estimate of dynamic instructions per inner-loop
+    iteration implied by a section profile (exposed for tests and for
+    documentation of the sizing model). *)

@@ -1,0 +1,339 @@
+module Rng = Repro_util.Rng
+module Inst = Repro_isa.Inst
+module Section = Repro_isa.Section
+module Trace = Repro_isa.Trace
+
+type t = { profile : Profile.t; program : Program.t; insts : int }
+
+let create ?insts profile =
+  let program = Codegen.generate profile in
+  { profile; program; insts = Option.value insts ~default:profile.total_insts }
+
+let program t = t.program
+let profile t = t.profile
+
+exception Phase_done
+
+(* Per-run interpreter state. *)
+type state = {
+  rng : Rng.t;
+  emit : Inst.t -> unit;
+  inst : Inst.t; (* reused record *)
+  mutable remaining : int; (* soft per-phase budget, checked between units *)
+  mutable hard_remaining : int; (* absolute cap; cuts execution anywhere *)
+  mutable slack : int; (* tolerated per-phase overshoot before a hard cut *)
+  mutable ghist : int;
+  mutable section : Section.t;
+  mutable warmup : bool;
+  mutable stack : int list;
+  mutable until_sys : int;
+  mutable serial_pos : int; (* kernel rotation, persists across rounds *)
+  mutable parallel_pos : int;
+  mutable path : int; (* current control-flow path id *)
+  mutable path_weights : (float * int) array; (* Zipf-ish path sampler *)
+  mutable loop_depth : int;
+  sys_interval : int;
+  sys_block : Program.block option;
+}
+
+let ghist_mask = (1 lsl 24) - 1
+let kernel_pc = 0x7000_0000 (* syscall "target" outside the image *)
+
+(* Emit all instructions of a block. [taken] applies to a Cond
+   terminator; [target] supplies Callt/Ret destinations. *)
+let emit_block st (b : Program.block) ~taken ~target =
+  let sizes = b.inst_sizes in
+  let n = Array.length sizes in
+  let addr = ref b.addr in
+  for i = 0 to n - 1 do
+    (* Soft phase budgets are enforced between kernel calls so loops
+       complete and the loop predictor sees uncorrupted trip counts;
+       a bounded slack keeps giant kernels from skewing the
+       serial/parallel instruction split. *)
+    if st.hard_remaining <= 0 || st.remaining <= -st.slack then
+      raise Phase_done;
+    st.hard_remaining <- st.hard_remaining - 1;
+    st.remaining <- st.remaining - 1;
+    let inst = st.inst in
+    inst.Inst.addr <- !addr;
+    inst.Inst.size <- sizes.(i);
+    inst.Inst.section <- st.section;
+    inst.Inst.warmup <- st.warmup;
+    if i < n - 1 then begin
+      inst.Inst.kind <- Inst.Plain;
+      inst.Inst.taken <- false;
+      inst.Inst.target <- 0
+    end
+    else begin
+      (match b.term with
+      | Program.Fall ->
+          inst.Inst.kind <- Inst.Plain;
+          inst.Inst.taken <- false;
+          inst.Inst.target <- 0
+      | Program.Cond c ->
+          inst.Inst.kind <- Inst.Cond_branch;
+          inst.Inst.taken <- taken;
+          inst.Inst.target <- c.ctarget;
+          st.ghist <- ((st.ghist lsl 1) lor Bool.to_int taken) land ghist_mask
+      | Program.Jump j ->
+          inst.Inst.kind <- Inst.Uncond_direct;
+          inst.Inst.taken <- true;
+          inst.Inst.target <- j.jtarget
+      | Program.Callt c ->
+          inst.Inst.kind <-
+            (if Array.length c.targets > 1 then Inst.Indirect_call else Inst.Call);
+          inst.Inst.taken <- true;
+          inst.Inst.target <- target
+      | Program.Ret ->
+          inst.Inst.kind <- Inst.Return;
+          inst.Inst.taken <- true;
+          inst.Inst.target <- target
+      | Program.Sys ->
+          inst.Inst.kind <- Inst.Syscall;
+          inst.Inst.taken <- true;
+          inst.Inst.target <- kernel_pc)
+    end;
+    st.emit inst;
+    addr := !addr + sizes.(i)
+  done
+
+let emit_plain_block st b = emit_block st b ~taken:false ~target:0
+
+let maybe_syscall st =
+  match st.sys_block with
+  | Some b when st.sys_interval > 0 ->
+      st.until_sys <- st.until_sys - 1;
+      if st.until_sys <= 0 then begin
+        st.until_sys <- st.sys_interval;
+        emit_block st b ~taken:true ~target:0
+      end
+  | Some _ | None -> ()
+
+let rec exec_stmts st stmts = List.iter (exec_stmt st) stmts
+
+and exec_stmt st = function
+  | Program.Basic b -> emit_plain_block st b
+  | Program.Call_site b -> exec_call st b
+  | Program.If i -> exec_if st i
+  | Program.Loop l -> exec_loop st l
+
+and exec_if st (i : Program.if_stmt) =
+  let behavior =
+    match i.icond.term with
+    | Program.Cond { cbehavior = Some b; _ } -> b
+    | Program.Cond { cbehavior = None; _ } | Program.Fall | Program.Jump _
+    | Program.Callt _ | Program.Ret | Program.Sys ->
+        invalid_arg "Executor: if head lacks a behaviour"
+  in
+  let taken =
+    Behavior.next behavior st.rng ~global_hist:st.ghist ~path:st.path
+  in
+  emit_block st i.icond ~taken ~target:0;
+  if taken then exec_stmts st i.ielse
+  else begin
+    exec_stmts st i.ithen;
+    match i.iskip with
+    | Some skip -> emit_block st skip ~taken:true ~target:0
+    | None -> ()
+  end
+
+and exec_loop st (l : Program.loop_stmt) =
+  let trip = Trip.sample l.ltrip st.rng in
+  st.loop_depth <- st.loop_depth + 1;
+  (try
+     for i = 1 to trip do
+       (* The control-flow path through the code is redrawn once per
+          outermost-loop iteration: path-dependent branch sites keep
+          their direction across the whole inner-loop nest, modelling
+          data-dependent phases that repeat (and stay learnable). *)
+       if st.loop_depth = 1 then
+         st.path <- Repro_util.Rng.choose_weighted st.rng st.path_weights;
+       exec_stmts st l.lbody;
+       emit_block st l.lback ~taken:(i < trip) ~target:0
+     done
+   with e ->
+     st.loop_depth <- st.loop_depth - 1;
+     raise e);
+  st.loop_depth <- st.loop_depth - 1
+
+and exec_call st (b : Program.block) =
+  match b.term with
+  | Program.Callt c ->
+      let callee =
+        if Array.length c.targets = 1 then c.targets.(0)
+        else
+          let i =
+            match c.csel with
+            | None -> Rng.int st.rng (Array.length c.targets)
+            | Some sel ->
+                (* A behaviour-driven selector alternates between the
+                   first two targets. *)
+                if Behavior.next sel st.rng ~global_hist:st.ghist ~path:st.path
+            then 0
+            else 1
+          in
+          c.targets.(i)
+      in
+      emit_block st b ~taken:true ~target:callee.Program.entry;
+      let ret_addr = b.addr + Program.block_bytes b in
+      st.stack <- ret_addr :: st.stack;
+      exec_proc st callee
+  | Program.Fall | Program.Cond _ | Program.Jump _ | Program.Ret | Program.Sys ->
+      invalid_arg "Executor: call site lacks a Callt terminator"
+
+and exec_proc st (p : Program.proc) =
+  exec_stmts st p.pbody;
+  let ret_target =
+    match st.stack with
+    | addr :: rest ->
+        st.stack <- rest;
+        addr
+    | [] -> kernel_pc
+  in
+  emit_block st p.pret ~taken:true ~target:ret_target
+
+(* Startup sweep: touch the cold image once, straight through. *)
+let init_sweep st (prog : Program.t) budget =
+  st.remaining <- budget;
+  st.section <- Section.Serial;
+  st.warmup <- true;
+  (try
+     Array.iter
+       (fun p ->
+         if st.remaining <= 0 then raise Phase_done;
+         Program.iter_blocks p (fun b ->
+             match b.Program.term with
+             | Program.Ret -> emit_block st b ~taken:true ~target:kernel_pc
+             | Program.Fall | Program.Cond _ | Program.Jump _ | Program.Callt _
+             | Program.Sys ->
+                 emit_plain_block st b))
+       prog.cold_procs
+   with Phase_done -> ());
+  st.warmup <- false
+
+let phase st ~section ~budget ~(calls : (Program.block * Program.proc) array) =
+  if budget > 0 && Array.length calls > 0 then begin
+    st.remaining <- budget;
+    (* Tolerate finishing the kernel call in flight, but never let the
+       overshoot dwarf a small phase (it would skew the
+       serial/parallel instruction split). *)
+    st.slack <- max 2_000 (budget / 8);
+    st.section <- section;
+    st.stack <- [];
+    (* Kernel rotation persists across rounds so every kernel gets its
+       share of execution even when one phase only fits a few calls. *)
+    let pos () =
+      match section with
+      | Section.Serial -> st.serial_pos
+      | Section.Parallel -> st.parallel_pos
+    in
+    let bump () =
+      match section with
+      | Section.Serial -> st.serial_pos <- st.serial_pos + 1
+      | Section.Parallel -> st.parallel_pos <- st.parallel_pos + 1
+    in
+    try
+      while st.remaining > 0 do
+        maybe_syscall st;
+        let call_block, kernel = calls.(pos () mod Array.length calls) in
+        bump ();
+        emit_block st call_block ~taken:true ~target:kernel.Program.entry;
+        st.stack <- (call_block.Program.addr + Program.block_bytes call_block)
+                    :: st.stack;
+        exec_proc st kernel
+      done
+    with Phase_done -> ()
+  end
+
+let reset_behaviors (prog : Program.t) =
+  List.iter
+    (fun p ->
+      Program.iter_blocks p (fun b ->
+          match b.Program.term with
+          | Program.Cond { cbehavior = Some beh; _ } -> Behavior.reset beh
+          | Program.Cond { cbehavior = None; _ } | Program.Fall
+          | Program.Jump _ | Program.Callt _ | Program.Ret | Program.Sys -> ()))
+    prog.procs
+
+let kernel_calls (prog : Program.t) kernels =
+  (* The driver's call-site blocks, in kernel order. *)
+  let calls =
+    List.filter_map
+      (function
+        | Program.Call_site b -> Some b
+        | Program.Basic _ | Program.Loop _ | Program.If _ -> None)
+      prog.driver.Program.pbody
+  in
+  let by_target k =
+    List.find
+      (fun b ->
+        match b.Program.term with
+        | Program.Callt { targets; _ } ->
+            Array.length targets = 1 && targets.(0) == k
+        | Program.Fall | Program.Cond _ | Program.Jump _ | Program.Ret
+        | Program.Sys ->
+            false)
+      calls
+  in
+  Array.map (fun k -> (by_target k, k)) kernels
+
+let run t f =
+  let prog = t.program in
+  let p = t.profile in
+  reset_behaviors prog;
+  let sys_interval =
+    if p.syscall_per_mil <= 0.0 then 0
+    else max 1 (int_of_float (1_000_000.0 /. p.syscall_per_mil))
+  in
+  let sys_block =
+    List.find_map
+      (function
+        | Program.Basic ({ Program.term = Program.Sys; _ } as b) -> Some b
+        | Program.Basic _ | Program.Loop _ | Program.If _ | Program.Call_site _
+          ->
+            None)
+      prog.driver.Program.pbody
+  in
+  let st =
+    { rng = Rng.create (p.seed lxor 0x5eed);
+      emit = f;
+      inst = Inst.make ~addr:0 ~size:1 ();
+      remaining = 0;
+      hard_remaining = max_int;
+      slack = max_int;
+      ghist = 0;
+      section = Section.Serial;
+      warmup = false;
+      stack = [];
+      until_sys = max 1 sys_interval;
+      serial_pos = 0;
+      parallel_pos = 0;
+      path = 0;
+      loop_depth = 0;
+      path_weights =
+        (let k = max p.serial.n_paths p.parallel.n_paths in
+         Array.init k (fun i -> (1.0 /. float_of_int (i + 1), i)));
+      sys_interval;
+      sys_block }
+  in
+  let total = t.insts in
+  (* Phases overshoot their soft budget by up to one kernel call; the
+     hard cap bounds the whole run to ~125% of the requested length. *)
+  st.hard_remaining <- total + (total / 4);
+  let sweep_budget = min (total / 4) (Program.static_bytes prog / 4) in
+  init_sweep st prog sweep_budget;
+  let remaining_total = total - sweep_budget in
+  let serial_total =
+    int_of_float (float_of_int remaining_total *. p.serial_fraction)
+  in
+  let parallel_total = remaining_total - serial_total in
+  let serial_calls = kernel_calls prog prog.serial_kernels in
+  let parallel_calls = kernel_calls prog prog.parallel_kernels in
+  for _round = 1 to p.rounds do
+    phase st ~section:Section.Serial ~budget:(serial_total / p.rounds)
+      ~calls:serial_calls;
+    phase st ~section:Section.Parallel ~budget:(parallel_total / p.rounds)
+      ~calls:parallel_calls
+  done
+
+let trace t = Trace.make (fun f -> run t f)

@@ -1,0 +1,29 @@
+(** Dynamic execution of a synthesized program.
+
+    The executor interprets a {!Program.t} and pushes one
+    {!Repro_isa.Inst.t} per dynamic instruction to the consumer,
+    modelling thread 0 of an 8-thread run exactly as the paper
+    measures it: a cold startup sweep (program loading and library
+    initialisation), then [rounds] alternations of a serial phase
+    (master thread between parallel regions) and a parallel phase
+    (thread 0's share of the parallel work). Kernel call sites are
+    visited round-robin inside each phase.
+
+    Every run of the returned trace replays the identical instruction
+    stream: all randomness is reseeded from the profile seed. The
+    pushed instruction record is reused; see {!Repro_isa.Inst}. *)
+
+type t
+
+val create : ?insts:int -> Profile.t -> t
+(** Generate the program for [profile] ({!Codegen.generate}) and fix
+    the dynamic budget ([insts] overrides [profile.total_insts]). *)
+
+val program : t -> Program.t
+val profile : t -> Profile.t
+
+val trace : t -> Repro_isa.Trace.t
+(** The replayable dynamic trace. *)
+
+val run : t -> (Repro_isa.Inst.t -> unit) -> unit
+(** One-shot equivalent of [Trace.iter (trace t)]. *)

@@ -1,0 +1,155 @@
+type section = {
+  branch_fraction : float;
+  avg_inst_bytes : float;
+  n_kernels : int;
+  inner_loops : int * int;
+  body_blocks : int * int;
+  inner_trip : Trip.t;
+  outer_trip : Trip.t;
+  if_density : float;
+  else_share : float;
+  call_density : float;
+  indirect_call_share : float;
+  callee_insts : int * int;
+  callee_pool : int;
+  dead_arm_insts : int * int;
+  arm_weight : float;
+  bias_mix : (float * (float * float)) list;
+  periodic_share : float;
+  periodic_len : int * int;
+  correlated_share : float;
+  correlated_bits : int;
+  correlated_noise : float;
+  path_share : float;
+  n_paths : int;
+  path_noise : float;
+  path_taken_rate : float;
+  hot_kb : float;
+  cold_excursion : float;
+}
+
+type perf_hints = { data_stall_cpi : float; scale_alpha : float }
+
+type t = {
+  name : string;
+  suite : Suite.t;
+  seed : int;
+  total_insts : int;
+  serial_fraction : float;
+  rounds : int;
+  static_kb : float;
+  proc_align : int;
+  syscall_per_mil : float;
+  perf : perf_hints;
+  serial : section;
+  parallel : section;
+}
+
+let default_perf = { data_stall_cpi = 0.55; scale_alpha = 0.99 }
+
+let default_section =
+  { branch_fraction = 0.07;
+    avg_inst_bytes = 5.2;
+    n_kernels = 3;
+    inner_loops = (2, 3);
+    body_blocks = (3, 6);
+    inner_trip = Trip.Const 64;
+    outer_trip = Trip.Geometric 400.0;
+    if_density = 1.2;
+    else_share = 0.3;
+    call_density = 0.25;
+    indirect_call_share = 0.0;
+    callee_insts = (6, 18);
+    callee_pool = 6;
+    dead_arm_insts = (2, 6);
+    arm_weight = 0.25;
+    bias_mix = [ (0.6, (0.0, 0.06)); (0.25, (0.92, 1.0)); (0.15, (0.2, 0.6)) ];
+    periodic_share = 0.05;
+    periodic_len = (2, 6);
+    correlated_share = 0.03;
+    correlated_bits = 8;
+    correlated_noise = 0.02;
+    path_share = 0.08;
+    n_paths = 3;
+    path_noise = 0.02;
+    path_taken_rate = 0.5;
+    hot_kb = 10.0;
+    cold_excursion = 0.02 }
+
+let check_fraction name v =
+  if v < 0.0 || v > 1.0 then Error (Printf.sprintf "%s out of [0,1]: %g" name v)
+  else Ok ()
+
+let check_section prefix s =
+  let ( let* ) = Result.bind in
+  let* () = check_fraction (prefix ^ ".branch_fraction") s.branch_fraction in
+  let* () = check_fraction (prefix ^ ".else_share") s.else_share in
+  let* () =
+    check_fraction (prefix ^ ".indirect_call_share") s.indirect_call_share
+  in
+  let* () = check_fraction (prefix ^ ".periodic_share") s.periodic_share in
+  let* () = check_fraction (prefix ^ ".correlated_share") s.correlated_share in
+  let* () = check_fraction (prefix ^ ".path_share") s.path_share in
+  let* () =
+    if s.periodic_share +. s.correlated_share +. s.path_share > 1.0 then
+      Error (prefix ^ ": periodic + correlated + path shares exceed 1")
+    else Ok ()
+  in
+  let* () = if s.n_paths < 1 then Error (prefix ^ ".n_paths < 1") else Ok () in
+  let* () = check_fraction (prefix ^ ".path_taken_rate") s.path_taken_rate in
+  let* () =
+    if s.branch_fraction <= 0.005 || s.branch_fraction > 0.5 then
+      Error (prefix ^ ".branch_fraction outside a plausible (0.005, 0.5]")
+    else Ok ()
+  in
+  let* () =
+    if s.avg_inst_bytes < 2.0 || s.avg_inst_bytes > 12.0 then
+      Error (prefix ^ ".avg_inst_bytes outside [2, 12]")
+    else Ok ()
+  in
+  let* () = if s.n_kernels < 1 then Error (prefix ^ ".n_kernels < 1") else Ok () in
+  let* () = if s.callee_pool < 1 then Error (prefix ^ ".callee_pool < 1") else Ok () in
+  let* () = check_fraction (prefix ^ ".arm_weight") s.arm_weight in
+  let* () = if s.hot_kb <= 0.0 then Error (prefix ^ ".hot_kb <= 0") else Ok () in
+  let total_bias = List.fold_left (fun a (w, _) -> a +. w) 0.0 s.bias_mix in
+  let* () =
+    if total_bias <= 0.0 then Error (prefix ^ ".bias_mix has no weight") else Ok ()
+  in
+  let* () =
+    if List.exists (fun (_, (lo, hi)) -> lo < 0.0 || hi > 1.0 || lo > hi)
+         s.bias_mix then
+      Error (prefix ^ ".bias_mix has an invalid probability range")
+    else Ok ()
+  in
+  Ok ()
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = check_fraction "serial_fraction" t.serial_fraction in
+  let* () = if t.total_insts < 1000 then Error "total_insts too small" else Ok () in
+  let* () = if t.rounds < 1 then Error "rounds < 1" else Ok () in
+  let* () = if t.static_kb <= 0.0 then Error "static_kb <= 0" else Ok () in
+  let* () =
+    if not (Repro_util.Units.is_power_of_two t.proc_align) then
+      Error "proc_align must be a power of two"
+    else Ok ()
+  in
+  let* () = check_section "serial" t.serial in
+  let* () = check_section "parallel" t.parallel in
+  let hot = (t.serial.hot_kb +. t.parallel.hot_kb) *. 1.15 in
+  if hot > t.static_kb then
+    Error
+      (Printf.sprintf "static_kb %.0f cannot hold hot code %.0f" t.static_kb hot)
+  else Ok ()
+
+let scale t f =
+  if f <= 0.0 then invalid_arg "Profile.scale: non-positive factor";
+  let insts = int_of_float (float_of_int t.total_insts *. f) in
+  { t with total_insts = max 50_000 insts }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%s (%s): %d insts, %.0f%% serial, %.0fKB static@]" t.name
+    (Suite.to_string t.suite) t.total_insts
+    (t.serial_fraction *. 100.0)
+    t.static_kb

@@ -1,0 +1,99 @@
+(** Statistical benchmark profiles.
+
+    A profile is the calibration target for one benchmark: the
+    architecture-independent code characteristics the paper reports
+    (Figs 1–4, Table I) expressed as generator parameters. {!Codegen}
+    turns a profile into a concrete {!Program.t}; {!Executor} then
+    produces dynamic traces whose measured characteristics land on the
+    profile's targets. *)
+
+(** Parameters of one code section (serial or parallel regions). *)
+type section = {
+  branch_fraction : float;
+      (** target share of branch instructions in the dynamic mix *)
+  avg_inst_bytes : float;  (** mean encoded instruction size *)
+  n_kernels : int;  (** hot loop nests in this section *)
+  inner_loops : int * int;  (** inner loops per kernel (range) *)
+  body_blocks : int * int;  (** straight-line blocks per inner body *)
+  inner_trip : Trip.t;
+  outer_trip : Trip.t;
+  if_density : float;  (** average [if] sites per inner-loop body *)
+  else_share : float;  (** fraction of [if]s with an else arm *)
+  call_density : float;  (** call sites per inner-loop body *)
+  indirect_call_share : float;  (** fraction of call sites made indirect *)
+  callee_insts : int * int;  (** plain instructions per leaf callee *)
+  callee_pool : int;  (** distinct leaf procedures call sites draw from *)
+  dead_arm_insts : int * int;
+      (** static size of the *cold* arm of strongly-biased [if]s:
+          error paths and unvisited branches that occupy code bytes
+          (and I-cache lines) without executing — the source of
+          desktop code's poor line usefulness (paper Fig. 9) *)
+  arm_weight : float;
+      (** share of the body's plain-instruction budget placed in
+          if-arms rather than straight-line blocks; large values mean
+          taken branches skip big extents (poor spatial locality, as
+          in desktop code) *)
+  bias_mix : (float * (float * float)) list;
+      (** Bernoulli [if] taken-probability mixture: [(weight, (lo, hi))] *)
+  periodic_share : float;  (** share of [if] sites given periodic outcomes *)
+  periodic_len : int * int;  (** pattern length range *)
+  correlated_share : float;  (** share of history-correlated [if] sites *)
+  correlated_bits : int;  (** history reach of correlated sites *)
+  correlated_noise : float;
+  path_share : float;  (** share of path-dependent [if] sites *)
+  n_paths : int;  (** distinct control-flow paths per loop iteration *)
+  path_noise : float;
+  path_taken_rate : float;
+      (** probability that a path-dependent site's per-path direction
+          is drawn taken; low values skew forward branches toward
+          not-taken, raising the backward share of taken branches *)
+  hot_kb : float;  (** code bytes the hot kernels should occupy *)
+  cold_excursion : float;
+      (** probability per outer-loop iteration of calling a cold
+          library procedure (stresses I-cache and BTB tails) *)
+}
+
+(** Back-end hints consumed by the {!Repro_uarch} timing model: the
+    paper's Sniper runs include data-side stalls and parallel scaling
+    that the front-end trace cannot supply. *)
+type perf_hints = {
+  data_stall_cpi : float;
+      (** average per-instruction stall cycles from the data side
+          (D-cache, memory); independent of front-end sizing *)
+  scale_alpha : float;
+      (** parallel-region speedup exponent: running on [n] cores
+          divides parallel time by [n^scale_alpha] (1.0 = linear;
+          slightly above 1 models cache-capacity superlinearity as
+          seen for FT) *)
+}
+
+type t = {
+  name : string;
+  suite : Suite.t;
+  seed : int;  (** per-benchmark RNG stream root *)
+  total_insts : int;  (** default dynamic instruction budget *)
+  serial_fraction : float;  (** share of instructions in serial regions *)
+  rounds : int;  (** serial/parallel alternations *)
+  static_kb : float;  (** whole-image code size, cold included *)
+  proc_align : int;  (** procedure alignment in the image *)
+  syscall_per_mil : float;  (** syscalls per million instructions *)
+  perf : perf_hints;
+  serial : section;
+  parallel : section;
+}
+
+val default_perf : perf_hints
+
+val default_section : section
+(** A generic HPC-flavoured parallel section; override fields with
+    [{ default_section with ... }]. *)
+
+val validate : t -> (unit, string) result
+(** Check ranges (fractions within 0..1, positive sizes, weights
+    normalizable); returns a human-readable error otherwise. *)
+
+val scale : t -> float -> t
+(** [scale p f] multiplies the dynamic instruction budget by [f]
+    (at least 50k instructions), leaving the code image unchanged. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,333 @@
+(* Hand-rolled parser for the key = value profile format: no external
+   dependencies, line-precise errors. *)
+
+let ( let* ) = Result.bind
+
+let parse_trip s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad trip %S (want const:N, uniform:LO-HI, geom:MEAN)" s)
+  | Some i ->
+      let kind = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      (match kind with
+      | "const" ->
+          (match int_of_string_opt arg with
+          | Some n -> Ok (Trip.Const n)
+          | None -> Error (Printf.sprintf "bad const trip %S" arg))
+      | "uniform" ->
+          (match String.split_on_char '-' arg with
+          | [ lo; hi ] ->
+              (match (int_of_string_opt lo, int_of_string_opt hi) with
+              | Some lo, Some hi when lo <= hi -> Ok (Trip.Uniform (lo, hi))
+              | _ -> Error (Printf.sprintf "bad uniform trip %S" arg))
+          | _ -> Error (Printf.sprintf "bad uniform trip %S" arg))
+      | "geom" ->
+          (match float_of_string_opt arg with
+          | Some m when m >= 1.0 -> Ok (Trip.Geometric m)
+          | _ -> Error (Printf.sprintf "bad geometric trip %S" arg))
+      | other -> Error (Printf.sprintf "unknown trip kind %S" other))
+
+let trip_to_string = function
+  | Trip.Const n -> Printf.sprintf "const:%d" n
+  | Trip.Uniform (lo, hi) -> Printf.sprintf "uniform:%d-%d" lo hi
+  | Trip.Geometric m -> Printf.sprintf "geom:%g" m
+
+(* "w:lo-hi, w:lo-hi, ..." *)
+let parse_bias_mix s =
+  let items = String.split_on_char ',' s |> List.map String.trim in
+  let parse_item item =
+    match String.split_on_char ':' item with
+    | [ w; range ] ->
+        (match String.split_on_char '-' range with
+        | [ lo; hi ] ->
+            (match
+               (float_of_string_opt w, float_of_string_opt lo,
+                float_of_string_opt hi)
+             with
+            | Some w, Some lo, Some hi -> Ok (w, (lo, hi))
+            | _ -> Error (Printf.sprintf "bad bias item %S" item))
+        | _ -> Error (Printf.sprintf "bad bias range in %S" item))
+    | _ -> Error (Printf.sprintf "bad bias item %S (want w:lo-hi)" item)
+  in
+  List.fold_right
+    (fun item acc ->
+      let* acc = acc in
+      let* v = parse_item item in
+      Ok (v :: acc))
+    items (Ok [])
+
+let bias_mix_to_string mix =
+  String.concat ", "
+    (List.map (fun (w, (lo, hi)) -> Printf.sprintf "%g:%g-%g" w lo hi) mix)
+
+let parse_int_pair s =
+  match String.split_on_char '-' s with
+  | [ lo; hi ] ->
+      (match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+      | _ -> Error (Printf.sprintf "bad range %S" s))
+  | _ -> Error (Printf.sprintf "bad range %S (want LO-HI)" s)
+
+let need_float s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad number %S" s)
+
+let need_int s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "bad integer %S" s)
+
+let apply_section_key (sec : Profile.section) key value =
+  match key with
+  | "branch_fraction" ->
+      let* v = need_float value in
+      Ok { sec with Profile.branch_fraction = v }
+  | "avg_inst_bytes" ->
+      let* v = need_float value in
+      Ok { sec with Profile.avg_inst_bytes = v }
+  | "n_kernels" ->
+      let* v = need_int value in
+      Ok { sec with Profile.n_kernels = v }
+  | "inner_loops" ->
+      let* v = parse_int_pair value in
+      Ok { sec with Profile.inner_loops = v }
+  | "body_blocks" ->
+      let* v = parse_int_pair value in
+      Ok { sec with Profile.body_blocks = v }
+  | "inner_trip" ->
+      let* v = parse_trip value in
+      Ok { sec with Profile.inner_trip = v }
+  | "outer_trip" ->
+      let* v = parse_trip value in
+      Ok { sec with Profile.outer_trip = v }
+  | "if_density" ->
+      let* v = need_float value in
+      Ok { sec with Profile.if_density = v }
+  | "else_share" ->
+      let* v = need_float value in
+      Ok { sec with Profile.else_share = v }
+  | "call_density" ->
+      let* v = need_float value in
+      Ok { sec with Profile.call_density = v }
+  | "indirect_call_share" ->
+      let* v = need_float value in
+      Ok { sec with Profile.indirect_call_share = v }
+  | "callee_insts" ->
+      let* v = parse_int_pair value in
+      Ok { sec with Profile.callee_insts = v }
+  | "callee_pool" ->
+      let* v = need_int value in
+      Ok { sec with Profile.callee_pool = v }
+  | "dead_arm_insts" ->
+      let* v = parse_int_pair value in
+      Ok { sec with Profile.dead_arm_insts = v }
+  | "arm_weight" ->
+      let* v = need_float value in
+      Ok { sec with Profile.arm_weight = v }
+  | "bias_mix" ->
+      let* v = parse_bias_mix value in
+      Ok { sec with Profile.bias_mix = v }
+  | "periodic_share" ->
+      let* v = need_float value in
+      Ok { sec with Profile.periodic_share = v }
+  | "periodic_len" ->
+      let* v = parse_int_pair value in
+      Ok { sec with Profile.periodic_len = v }
+  | "correlated_share" ->
+      let* v = need_float value in
+      Ok { sec with Profile.correlated_share = v }
+  | "correlated_bits" ->
+      let* v = need_int value in
+      Ok { sec with Profile.correlated_bits = v }
+  | "correlated_noise" ->
+      let* v = need_float value in
+      Ok { sec with Profile.correlated_noise = v }
+  | "path_share" ->
+      let* v = need_float value in
+      Ok { sec with Profile.path_share = v }
+  | "n_paths" ->
+      let* v = need_int value in
+      Ok { sec with Profile.n_paths = v }
+  | "path_noise" ->
+      let* v = need_float value in
+      Ok { sec with Profile.path_noise = v }
+  | "path_taken_rate" ->
+      let* v = need_float value in
+      Ok { sec with Profile.path_taken_rate = v }
+  | "hot_kb" ->
+      let* v = need_float value in
+      Ok { sec with Profile.hot_kb = v }
+  | "cold_excursion" ->
+      let* v = need_float value in
+      Ok { sec with Profile.cold_excursion = v }
+  | other -> Error (Printf.sprintf "unknown section key %S" other)
+
+let apply_key (p : Profile.t) key value =
+  match key with
+  | "name" -> Ok { p with Profile.name = value }
+  | "like" ->
+      (match
+         List.find_opt (fun (q : Profile.t) -> q.name = value) Suites.all
+       with
+      | Some base -> Ok { base with Profile.name = p.Profile.name }
+      | None -> Error (Printf.sprintf "unknown template benchmark %S" value))
+  | "suite" ->
+      (match String.lowercase_ascii value with
+      | "exmatex" -> Ok { p with Profile.suite = Suite.Exmatex }
+      | "omp" | "spec_omp" -> Ok { p with Profile.suite = Suite.Spec_omp }
+      | "npb" -> Ok { p with Profile.suite = Suite.Npb }
+      | "int" | "spec_int" -> Ok { p with Profile.suite = Suite.Spec_int }
+      | other -> Error (Printf.sprintf "unknown suite %S" other))
+  | "seed" ->
+      let* v = need_int value in
+      Ok { p with Profile.seed = v }
+  | "total_insts" ->
+      let* v = need_int value in
+      Ok { p with Profile.total_insts = v }
+  | "serial_fraction" ->
+      let* v = need_float value in
+      Ok { p with Profile.serial_fraction = v }
+  | "rounds" ->
+      let* v = need_int value in
+      Ok { p with Profile.rounds = v }
+  | "static_kb" ->
+      let* v = need_float value in
+      Ok { p with Profile.static_kb = v }
+  | "proc_align" ->
+      let* v = need_int value in
+      Ok { p with Profile.proc_align = v }
+  | "syscall_per_mil" ->
+      let* v = need_float value in
+      Ok { p with Profile.syscall_per_mil = v }
+  | "data_stall_cpi" ->
+      let* v = need_float value in
+      Ok { p with Profile.perf = { p.Profile.perf with data_stall_cpi = v } }
+  | "scale_alpha" ->
+      let* v = need_float value in
+      Ok { p with Profile.perf = { p.Profile.perf with scale_alpha = v } }
+  | _ ->
+      (match String.index_opt key '.' with
+      | Some i ->
+          let prefix = String.sub key 0 i in
+          let rest = String.sub key (i + 1) (String.length key - i - 1) in
+          (match prefix with
+          | "serial" ->
+              let* sec = apply_section_key p.Profile.serial rest value in
+              Ok { p with Profile.serial = sec }
+          | "parallel" ->
+              let* sec = apply_section_key p.Profile.parallel rest value in
+              Ok { p with Profile.parallel = sec }
+          | other -> Error (Printf.sprintf "unknown section %S" other))
+      | None -> Error (Printf.sprintf "unknown key %S" key))
+
+let blank : Profile.t =
+  { name = "custom";
+    suite = Suite.Npb;
+    seed = 1;
+    total_insts = 1_000_000;
+    serial_fraction = 0.01;
+    rounds = 8;
+    static_kb = 60.0;
+    proc_align = 64;
+    syscall_per_mil = 2.0;
+    perf = Profile.default_perf;
+    serial = Profile.default_section;
+    parallel = Profile.default_section }
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let* profile =
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* p = acc in
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then Ok p
+        else
+          match String.index_opt line '=' with
+          | None -> Error (Printf.sprintf "line %d: missing '='" lineno)
+          | Some i ->
+              let key = String.trim (String.sub line 0 i) in
+              let value =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              (match apply_key p key value with
+              | Ok p -> Ok p
+              | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
+      (Ok blank)
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  match Profile.validate profile with
+  | Ok () -> Ok profile
+  | Error e -> Error ("invalid profile: " ^ e)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error e -> Error e
+
+let section_to_lines prefix (s : Profile.section) =
+  [ Printf.sprintf "%s.branch_fraction = %g" prefix s.branch_fraction;
+    Printf.sprintf "%s.avg_inst_bytes = %g" prefix s.avg_inst_bytes;
+    Printf.sprintf "%s.n_kernels = %d" prefix s.n_kernels;
+    Printf.sprintf "%s.inner_loops = %d-%d" prefix (fst s.inner_loops)
+      (snd s.inner_loops);
+    Printf.sprintf "%s.body_blocks = %d-%d" prefix (fst s.body_blocks)
+      (snd s.body_blocks);
+    Printf.sprintf "%s.inner_trip = %s" prefix (trip_to_string s.inner_trip);
+    Printf.sprintf "%s.outer_trip = %s" prefix (trip_to_string s.outer_trip);
+    Printf.sprintf "%s.if_density = %g" prefix s.if_density;
+    Printf.sprintf "%s.else_share = %g" prefix s.else_share;
+    Printf.sprintf "%s.call_density = %g" prefix s.call_density;
+    Printf.sprintf "%s.indirect_call_share = %g" prefix s.indirect_call_share;
+    Printf.sprintf "%s.callee_insts = %d-%d" prefix (fst s.callee_insts)
+      (snd s.callee_insts);
+    Printf.sprintf "%s.callee_pool = %d" prefix s.callee_pool;
+    Printf.sprintf "%s.dead_arm_insts = %d-%d" prefix (fst s.dead_arm_insts)
+      (snd s.dead_arm_insts);
+    Printf.sprintf "%s.arm_weight = %g" prefix s.arm_weight;
+    Printf.sprintf "%s.bias_mix = %s" prefix (bias_mix_to_string s.bias_mix);
+    Printf.sprintf "%s.periodic_share = %g" prefix s.periodic_share;
+    Printf.sprintf "%s.periodic_len = %d-%d" prefix (fst s.periodic_len)
+      (snd s.periodic_len);
+    Printf.sprintf "%s.correlated_share = %g" prefix s.correlated_share;
+    Printf.sprintf "%s.correlated_bits = %d" prefix s.correlated_bits;
+    Printf.sprintf "%s.correlated_noise = %g" prefix s.correlated_noise;
+    Printf.sprintf "%s.path_share = %g" prefix s.path_share;
+    Printf.sprintf "%s.n_paths = %d" prefix s.n_paths;
+    Printf.sprintf "%s.path_noise = %g" prefix s.path_noise;
+    Printf.sprintf "%s.path_taken_rate = %g" prefix s.path_taken_rate;
+    Printf.sprintf "%s.hot_kb = %g" prefix s.hot_kb;
+    Printf.sprintf "%s.cold_excursion = %g" prefix s.cold_excursion ]
+
+let suite_to_string = function
+  | Suite.Exmatex -> "exmatex"
+  | Suite.Spec_omp -> "omp"
+  | Suite.Npb -> "npb"
+  | Suite.Spec_int -> "int"
+
+let to_string (p : Profile.t) =
+  String.concat "\n"
+    ([ Printf.sprintf "name = %s" p.name;
+       Printf.sprintf "suite = %s" (suite_to_string p.suite);
+       Printf.sprintf "seed = %d" p.seed;
+       Printf.sprintf "total_insts = %d" p.total_insts;
+       Printf.sprintf "serial_fraction = %g" p.serial_fraction;
+       Printf.sprintf "rounds = %d" p.rounds;
+       Printf.sprintf "static_kb = %g" p.static_kb;
+       Printf.sprintf "proc_align = %d" p.proc_align;
+       Printf.sprintf "syscall_per_mil = %g" p.syscall_per_mil;
+       Printf.sprintf "data_stall_cpi = %g" p.perf.data_stall_cpi;
+       Printf.sprintf "scale_alpha = %g" p.perf.scale_alpha ]
+    @ section_to_lines "serial" p.serial
+    @ section_to_lines "parallel" p.parallel)
+  ^ "\n"
+
+let save path p =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string p))

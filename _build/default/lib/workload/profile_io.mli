@@ -1,0 +1,35 @@
+(** Plain-text serialization of benchmark profiles, so users can
+    define their own workloads without recompiling.
+
+    Format: one [key = value] pair per line; [#] starts a comment;
+    section parameters are prefixed [serial.] or [parallel.]. Trip
+    models are written [const:N], [uniform:LO-HI] or [geom:MEAN]; the
+    bias mixture as [w:lo-hi] triples separated by commas. Unknown
+    keys are an error (they are invariably typos). All keys are
+    optional: omitted ones keep the value from the template profile
+    ({!Profile.default_section} based unless [like = <benchmark>]
+    names a built-in profile to inherit from).
+
+    Example:
+    {v
+    # my-stencil.profile
+    name = my-stencil
+    like = FT
+    serial_fraction = 0.02
+    parallel.branch_fraction = 0.05
+    parallel.inner_trip = const:128
+    parallel.bias_mix = 0.7:0.0-0.05, 0.3:0.9-1.0
+    v} *)
+
+val parse : string -> (Profile.t, string) result
+(** Parse a profile from file contents; the error names the offending
+    line. The result is validated with {!Profile.validate}. *)
+
+val load : string -> (Profile.t, string) result
+(** Read and {!parse} a file. *)
+
+val to_string : Profile.t -> string
+(** Render a profile in the same format (round-trips through
+    {!parse}). *)
+
+val save : string -> Profile.t -> unit

@@ -1,0 +1,146 @@
+type block = {
+  bid : int;
+  mutable addr : int;
+  inst_sizes : int array;
+  mutable term : term;
+}
+
+and term =
+  | Fall
+  | Cond of cond
+  | Jump of jump
+  | Callt of callt
+  | Ret
+  | Sys
+
+and cond = { mutable ctarget : int; cbehavior : Behavior.t option }
+and jump = { mutable jtarget : int }
+and callt = { targets : proc array; csel : Behavior.t option }
+
+and proc = {
+  pid : int;
+  pname : string;
+  mutable entry : int;
+  pbody : stmt list;
+  pret : block;
+}
+
+and stmt =
+  | Basic of block
+  | Loop of loop_stmt
+  | If of if_stmt
+  | Call_site of block
+
+and loop_stmt = { lbody : stmt list; lback : block; ltrip : Trip.t }
+
+and if_stmt = {
+  icond : block;
+  ithen : stmt list;
+  ielse : stmt list;
+  iskip : block option;
+}
+
+type t = {
+  name : string;
+  mutable image_end : int;
+  procs : proc list;
+  cold_procs : proc array;
+  serial_kernels : proc array;
+  parallel_kernels : proc array;
+  driver : proc;
+}
+
+let block_bytes b = Array.fold_left ( + ) 0 b.inst_sizes
+
+let rec first_block = function
+  | [] -> invalid_arg "Program.first_addr: empty statement list"
+  | Basic b :: _ | Call_site b :: _ -> b
+  | Loop l :: _ -> first_block l.lbody
+  | If i :: _ -> i.icond
+
+let first_addr stmts = (first_block stmts).addr
+
+let rec iter_stmt_blocks stmt f =
+  match stmt with
+  | Basic b | Call_site b -> f b
+  | Loop l ->
+      List.iter (fun s -> iter_stmt_blocks s f) l.lbody;
+      f l.lback
+  | If i ->
+      f i.icond;
+      List.iter (fun s -> iter_stmt_blocks s f) i.ithen;
+      (match i.iskip with Some b -> f b | None -> ());
+      List.iter (fun s -> iter_stmt_blocks s f) i.ielse
+
+let iter_blocks proc f =
+  List.iter (fun s -> iter_stmt_blocks s f) proc.pbody;
+  f proc.pret
+
+let proc_bytes proc =
+  let sum = ref 0 in
+  iter_blocks proc (fun b -> sum := !sum + block_bytes b);
+  !sum
+
+let static_bytes t =
+  List.fold_left (fun acc p -> acc + proc_bytes p) 0 t.procs
+
+(* Sequential address assignment. Returns the next free address. *)
+let rec lay_stmts addr stmts =
+  List.fold_left lay_stmt addr stmts
+
+and lay_stmt addr stmt =
+  match stmt with
+  | Basic b | Call_site b ->
+      b.addr <- addr;
+      addr + block_bytes b
+  | Loop l ->
+      let after_body = lay_stmts addr l.lbody in
+      l.lback.addr <- after_body;
+      (match l.lback.term with
+      | Cond c -> c.ctarget <- first_addr l.lbody
+      | Fall | Jump _ | Callt _ | Ret | Sys ->
+          invalid_arg "Program.layout: loop back-edge must be Cond");
+      after_body + block_bytes l.lback
+  | If i ->
+      i.icond.addr <- addr;
+      let after_cond = addr + block_bytes i.icond in
+      let after_then = lay_stmts after_cond i.ithen in
+      let cond_rec =
+        match i.icond.term with
+        | Cond c -> c
+        | Fall | Jump _ | Callt _ | Ret | Sys ->
+            invalid_arg "Program.layout: if head must be Cond"
+      in
+      (match (i.ielse, i.iskip) with
+      | [], None ->
+          (* taken skips the then-arm *)
+          cond_rec.ctarget <- after_then;
+          after_then
+      | _ :: _, Some skip ->
+          skip.addr <- after_then;
+          let else_start = after_then + block_bytes skip in
+          let after_else = lay_stmts else_start i.ielse in
+          cond_rec.ctarget <- else_start;
+          (match skip.term with
+          | Jump j -> j.jtarget <- after_else
+          | Fall | Cond _ | Callt _ | Ret | Sys ->
+              invalid_arg "Program.layout: skip block must be Jump");
+          after_else
+      | [], Some _ | _ :: _, None ->
+          invalid_arg "Program.layout: else arm and skip block must co-occur")
+
+let align_up align addr = (addr + align - 1) land lnot (align - 1)
+
+let layout ~base ~align t =
+  if not (Repro_util.Units.is_power_of_two align) then
+    invalid_arg "Program.layout: align";
+  let addr = ref base in
+  List.iter
+    (fun p ->
+      addr := align_up align !addr;
+      p.entry <- !addr;
+      let after_body = lay_stmts !addr p.pbody in
+      p.pret.addr <- after_body;
+      addr := after_body + block_bytes p.pret)
+    t.procs;
+  t.image_end <- !addr

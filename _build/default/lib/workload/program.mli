@@ -1,0 +1,99 @@
+(** Synthesized program structure.
+
+    A generated benchmark is a set of procedures made of nested
+    statements (straight-line blocks, loops, conditionals, call
+    sites). {!layout} assigns concrete addresses exactly as a simple
+    compiler would place the code: loop bodies contiguous with a
+    backward conditional at the end, [if] bodies after a forward
+    conditional that skips them, procedures padded to an alignment.
+
+    The {!Executor} walks this structure to produce the dynamic
+    instruction trace. *)
+
+type block = {
+  bid : int;
+  mutable addr : int;  (** assigned by {!layout} *)
+  inst_sizes : int array;  (** per-instruction encoded bytes *)
+  mutable term : term;
+}
+
+and term =
+  | Fall  (** falls through; no branch instruction *)
+  | Cond of cond
+  | Jump of jump
+  | Callt of callt
+  | Ret
+  | Sys
+
+and cond = {
+  mutable ctarget : int;
+  cbehavior : Behavior.t option;
+      (** [None] when the surrounding [Loop] drives the outcome *)
+}
+
+and jump = { mutable jtarget : int }
+
+and callt = {
+  targets : proc array;  (** length > 1 means an indirect call site *)
+  csel : Behavior.t option;  (** unused for direct calls *)
+}
+
+and proc = {
+  pid : int;
+  pname : string;
+  mutable entry : int;
+  pbody : stmt list;
+  pret : block;  (** terminator block with [Ret] *)
+}
+
+and stmt =
+  | Basic of block
+  | Loop of loop_stmt
+  | If of if_stmt
+  | Call_site of block  (** block whose terminator is [Callt] *)
+
+and loop_stmt = {
+  lbody : stmt list;
+  lback : block;  (** backward [Cond]; target patched to the body head *)
+  ltrip : Trip.t;
+}
+
+and if_stmt = {
+  icond : block;  (** forward [Cond]; taken skips [ithen] *)
+  ithen : stmt list;
+  ielse : stmt list;
+  iskip : block option;  (** [Jump] over [ielse] when both arms exist *)
+}
+
+type t = {
+  name : string;
+  mutable image_end : int;  (** first address past the laid-out image *)
+  procs : proc list;  (** every procedure, including cold ones *)
+  cold_procs : proc array;  (** subset: cold library/startup code *)
+  serial_kernels : proc array;  (** hot kernels run in serial phases *)
+  parallel_kernels : proc array;
+  driver : proc;  (** synthetic [main] holding kernel call sites *)
+}
+
+val first_addr : stmt list -> int
+(** Address of the first instruction of a statement sequence (after
+    layout). Raises [Invalid_argument] on an empty sequence. *)
+
+val block_bytes : block -> int
+(** Encoded size of a block. *)
+
+val iter_stmt_blocks : stmt -> (block -> unit) -> unit
+(** Every block under a statement, in layout order. *)
+
+val iter_blocks : proc -> (block -> unit) -> unit
+(** Every block of a procedure, in layout order. *)
+
+val proc_bytes : proc -> int
+(** Total encoded size of a procedure's blocks. *)
+
+val static_bytes : t -> int
+(** Sum of all block sizes in the image (paper's static footprint). *)
+
+val layout : base:int -> align:int -> t -> unit
+(** Assign addresses to every block and patch every branch target.
+    [align] (power of two) pads each procedure's start. *)

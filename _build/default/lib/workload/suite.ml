@@ -1,0 +1,16 @@
+type t = Exmatex | Spec_omp | Npb | Spec_int
+
+let to_int = function Exmatex -> 0 | Spec_omp -> 1 | Npb -> 2 | Spec_int -> 3
+let equal a b = to_int a = to_int b
+let compare a b = Int.compare (to_int a) (to_int b)
+
+let to_string = function
+  | Exmatex -> "ExMatEx"
+  | Spec_omp -> "SPEC OMP"
+  | Npb -> "NPB"
+  | Spec_int -> "SPEC CPU INT"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let all = [ Exmatex; Spec_omp; Npb; Spec_int ]
+let hpc = [ Exmatex; Spec_omp; Npb ]
+let is_hpc t = not (equal t Spec_int)

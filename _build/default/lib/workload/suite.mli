@@ -1,0 +1,20 @@
+(** The four benchmark suites the paper evaluates. *)
+
+type t =
+  | Exmatex  (** ExMatEx proxy apps: 8 recent HPC applications *)
+  | Spec_omp  (** SPEC OMP 2012: 11 shared-memory HPC applications *)
+  | Npb  (** NAS Parallel Benchmarks: 10 CFD pseudo-applications *)
+  | Spec_int  (** SPEC CPU INT 2006: 12 desktop applications *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Report order: ExMatEx, SPEC OMP, NPB, SPEC CPU INT. *)
+
+val hpc : t list
+(** The three HPC suites. *)
+
+val is_hpc : t -> bool

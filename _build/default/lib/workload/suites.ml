@@ -1,0 +1,614 @@
+(* Calibrated benchmark profiles. Field choices trace back to concrete
+   paper statements; see the .mli and DESIGN.md §5. The general
+   relations used below:
+   - dynamic basic-block bytes ~= avg_inst_bytes / branch_fraction;
+   - backward share of taken conditionals ~= 1 / (1 + if_density * mean
+     if-bias), since each inner iteration takes one backward branch;
+   - 99%-dynamic footprint ~= serial hot_kb + parallel hot_kb;
+   - loop-predictor gains require Const trip counts. *)
+
+open Profile
+
+let hpc_parallel_base =
+  { branch_fraction = 0.065;
+    avg_inst_bytes = 6.0;
+    n_kernels = 3;
+    inner_loops = (2, 4);
+    body_blocks = (2, 4);
+    inner_trip = Trip.Const 48;
+    outer_trip = Trip.Uniform (3, 8);
+    if_density = 1.0;
+    else_share = 0.3;
+    call_density = 0.15;
+    indirect_call_share = 0.0;
+    callee_insts = (6, 16);
+    callee_pool = 6;
+    dead_arm_insts = (2, 6);
+    arm_weight = 0.22;
+    bias_mix = [ (0.69, (0.0, 0.05)); (0.29, (0.93, 1.0)); (0.02, (0.25, 0.65)) ];
+    periodic_share = 0.04;
+    periodic_len = (2, 5);
+    correlated_share = 0.03;
+    correlated_bits = 6;
+    correlated_noise = 0.03;
+    path_share = 0.06;
+    n_paths = 2;
+    path_noise = 0.02;
+    path_taken_rate = 0.40;
+    hot_kb = 8.0;
+    cold_excursion = 0.02 }
+
+let hpc_serial_base =
+  { branch_fraction = 0.20;
+    avg_inst_bytes = 4.3;
+    n_kernels = 2;
+    inner_loops = (2, 4);
+    body_blocks = (3, 6);
+    inner_trip = Trip.Uniform (4, 40);
+    outer_trip = Trip.Uniform (2, 6);
+    if_density = 1.2;
+    else_share = 0.4;
+    call_density = 0.5;
+    indirect_call_share = 0.0;
+    callee_insts = (4, 12);
+    callee_pool = 10;
+    dead_arm_insts = (6, 18);
+    arm_weight = 0.45;
+    bias_mix = [ (0.69, (0.0, 0.06)); (0.26, (0.9, 1.0)); (0.05, (0.25, 0.7)) ];
+    periodic_share = 0.04;
+    periodic_len = (2, 7);
+    correlated_share = 0.04;
+    correlated_bits = 7;
+    correlated_noise = 0.03;
+    path_share = 0.25;
+    n_paths = 3;
+    path_noise = 0.02;
+    path_taken_rate = 0.40;
+    hot_kb = 6.0;
+    cold_excursion = 0.04 }
+
+let int_base =
+  { branch_fraction = 0.20;
+    avg_inst_bytes = 4.0;
+    n_kernels = 2;
+    inner_loops = (3, 6);
+    body_blocks = (6, 12);
+    inner_trip = Trip.Uniform (5, 12);
+    outer_trip = Trip.Uniform (2, 6);
+    if_density = 6.0;
+    else_share = 0.78;
+    call_density = 2.0;
+    indirect_call_share = 0.04;
+    callee_insts = (4, 14);
+    callee_pool = 36;
+    dead_arm_insts = (24, 60);
+    arm_weight = 0.55;
+    bias_mix =
+      [ (0.82, (0.0, 0.06)); (0.12, (0.92, 1.0)); (0.04, (0.25, 0.75));
+        (0.02, (0.45, 0.6)) ];
+    periodic_share = 0.04;
+    periodic_len = (3, 6);
+    correlated_share = 0.04;
+    correlated_bits = 6;
+    correlated_noise = 0.03;
+    path_share = 0.40;
+    n_paths = 5;
+    path_noise = 0.015;
+    path_taken_rate = 0.22;
+    hot_kb = 60.0;
+    cold_excursion = 0.05 }
+
+(* The unused parallel section of a sequential (SPEC INT) profile:
+   kept minimal so it does not consume the static-code budget. *)
+let int_parallel_stub =
+  { hpc_parallel_base with n_kernels = 1; hot_kb = 1.0; inner_loops = (1, 1) }
+
+let mk ~name ~suite ~seed ~serial_fraction ~static_kb ?(proc_align = 64)
+    ?(syscall_per_mil = 2.0) ?(perf = default_perf) ~serial ~parallel () =
+  { name;
+    suite;
+    seed;
+    total_insts = 2_000_000;
+    serial_fraction;
+    rounds = 8;
+    static_kb;
+    proc_align;
+    syscall_per_mil;
+    perf;
+    serial;
+    parallel }
+
+(* ------------------------------------------------------------------ *)
+(* ExMatEx: recent proxy applications, larger footprints (external
+   libraries), non-negligible serial sections, 13% branches total. *)
+
+let exmatex =
+  let serial = { hpc_serial_base with branch_fraction = 0.25 } in
+  let align = 512 (* library-style alignment: stresses BTB indexing *) in
+  [ mk ~name:"CoMD" ~suite:Suite.Exmatex ~seed:101 ~serial_fraction:0.08
+      ~static_kb:130.0 ~proc_align:align
+      ~perf:{ data_stall_cpi = 0.5; scale_alpha = 0.99 }
+      ~serial:{ serial with hot_kb = 6.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.10;
+          avg_inst_bytes = 5.5;
+          hot_kb = 14.0;
+          if_density = 1.4;
+          correlated_share = 0.06;
+          cold_excursion = 0.05 }
+      ();
+    mk ~name:"CoEVP" ~suite:Suite.Exmatex ~seed:102 ~serial_fraction:0.35
+      ~static_kb:250.0 ~proc_align:align
+      ~perf:{ data_stall_cpi = 0.6; scale_alpha = 0.98 }
+      ~serial:
+        { serial with
+          hot_kb = 26.0;
+          n_kernels = 1;
+          if_density = 2.2;
+          inner_trip = Trip.Uniform (3, 12);
+          indirect_call_share = 0.10;
+          correlated_share = 0.10;
+          correlated_bits = 10;
+          correlated_noise = 0.02;
+          path_share = 0.30;
+          n_paths = 6;
+          dead_arm_insts = (10, 30) }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.10;
+          avg_inst_bytes = 5.4;
+          hot_kb = 22.0;
+          if_density = 1.6;
+          indirect_call_share = 0.12;
+          correlated_share = 0.08;
+          correlated_bits = 8;
+          bias_mix =
+            [ (0.62, (0.0, 0.06)); (0.28, (0.9, 1.0)); (0.10, (0.25, 0.7)) ];
+          cold_excursion = 0.08 }
+      ();
+    mk ~name:"CoHMM" ~suite:Suite.Exmatex ~seed:103 ~serial_fraction:0.06
+      ~static_kb:140.0 ~proc_align:align
+      ~serial:{ serial with hot_kb = 6.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.16;
+          avg_inst_bytes = 5.1;
+          inner_trip = Trip.Uniform (2, 6);
+          hot_kb = 16.0;
+          if_density = 1.2;
+          body_blocks = (1, 2);
+          cold_excursion = 0.05 }
+      ();
+    mk ~name:"CoSP" ~suite:Suite.Exmatex ~seed:104 ~serial_fraction:0.09
+      ~static_kb:120.0 ~proc_align:align
+      ~serial:{ serial with hot_kb = 10.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.14;
+          avg_inst_bytes = 5.0;
+          inner_trip = Trip.Const 4;
+          hot_kb = 12.0;
+          if_density = 1.0;
+          body_blocks = (1, 2) }
+      ();
+    mk ~name:"CoGL" ~suite:Suite.Exmatex ~seed:105 ~serial_fraction:0.03
+      ~static_kb:200.0 ~proc_align:align
+      ~serial:{ serial with hot_kb = 6.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.11;
+          avg_inst_bytes = 5.3;
+          hot_kb = 26.0;
+          if_density = 1.3;
+          cold_excursion = 0.08 }
+      ();
+    mk ~name:"LULESH" ~suite:Suite.Exmatex ~seed:106 ~serial_fraction:0.11
+      ~static_kb:170.0 ~proc_align:align
+      ~perf:{ data_stall_cpi = 0.55; scale_alpha = 0.99 }
+      ~serial:{ serial with branch_fraction = 0.12; hot_kb = 8.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.045;
+          avg_inst_bytes = 5.6;
+          hot_kb = 22.0;
+          if_density = 0.8;
+          cold_excursion = 0.05 }
+      ();
+    mk ~name:"VPFFT" ~suite:Suite.Exmatex ~seed:107 ~serial_fraction:0.02
+      ~static_kb:800.0 ~proc_align:align
+      ~serial:{ serial with hot_kb = 6.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.09;
+          avg_inst_bytes = 5.8;
+          hot_kb = 18.0;
+          inner_trip = Trip.Const 64;
+          cold_excursion = 0.06 }
+      ();
+    mk ~name:"ASPA" ~suite:Suite.Exmatex ~seed:108 ~serial_fraction:0.02
+      ~static_kb:130.0 ~proc_align:align
+      ~serial:{ serial with hot_kb = 5.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.12;
+          avg_inst_bytes = 5.2;
+          hot_kb = 10.0;
+          if_density = 1.1 }
+      () ]
+
+(* ------------------------------------------------------------------ *)
+(* SPEC OMP 2012: 11 applications, tiny serial sections (except nab
+   and fma3d at ~4%), ~7% branches, small hot footprints. *)
+
+let spec_omp =
+  let serial = hpc_serial_base in
+  [ mk ~name:"md" ~suite:Suite.Spec_omp ~seed:201 ~serial_fraction:0.006
+      ~static_kb:110.0
+      ~serial:{ serial with hot_kb = 4.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.06;
+          indirect_call_share = 0.10;
+          hot_kb = 6.0 }
+      ();
+    mk ~name:"bwaves" ~suite:Suite.Spec_omp ~seed:202 ~serial_fraction:0.005
+      ~static_kb:95.0
+      ~perf:{ data_stall_cpi = 0.9; scale_alpha = 0.99 }
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.05;
+          avg_inst_bytes = 6.5;
+          inner_trip = Trip.Const 96;
+          hot_kb = 4.0;
+          if_density = 0.4 }
+      ();
+    mk ~name:"nab" ~suite:Suite.Spec_omp ~seed:203 ~serial_fraction:0.04
+      ~static_kb:130.0
+      ~serial:{ serial with hot_kb = 5.0 }
+      ~parallel:
+        { hpc_parallel_base with branch_fraction = 0.07; hot_kb = 8.0 }
+      ();
+    mk ~name:"botsalgn" ~suite:Suite.Spec_omp ~seed:204 ~serial_fraction:0.006
+      ~static_kb:90.0
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { hpc_parallel_base with branch_fraction = 0.065; hot_kb = 5.0 }
+      ();
+    mk ~name:"botsspar" ~suite:Suite.Spec_omp ~seed:205 ~serial_fraction:0.007
+      ~static_kb:100.0
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.14;
+          avg_inst_bytes = 4.8;
+          inner_trip = Trip.Const 5;
+          body_blocks = (1, 2);
+          if_density = 0.5;
+          hot_kb = 4.0 }
+      ();
+    mk ~name:"ilbdc" ~suite:Suite.Spec_omp ~seed:206 ~serial_fraction:0.005
+      ~static_kb:85.0
+      ~perf:{ data_stall_cpi = 1.0; scale_alpha = 0.99 }
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.045;
+          avg_inst_bytes = 6.8;
+          inner_trip = Trip.Const 128;
+          if_density = 0.3;
+          hot_kb = 3.0 }
+      ();
+    mk ~name:"fma3d" ~suite:Suite.Spec_omp ~seed:207 ~serial_fraction:0.04
+      ~static_kb:230.0
+      ~serial:{ serial with hot_kb = 8.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.07;
+          hot_kb = 18.0;
+          if_density = 1.0;
+          correlated_share = 0.06;
+          cold_excursion = 0.05 }
+      ();
+    mk ~name:"swim" ~suite:Suite.Spec_omp ~seed:208 ~serial_fraction:0.005
+      ~static_kb:80.0
+      ~perf:{ data_stall_cpi = 1.1; scale_alpha = 0.99 }
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.042;
+          avg_inst_bytes = 6.4;
+          inner_trip = Trip.Const 512;
+          if_density = 0.25;
+          hot_kb = 3.0 }
+      ();
+    mk ~name:"imagick" ~suite:Suite.Spec_omp ~seed:209 ~serial_fraction:0.008
+      ~static_kb:170.0
+      ~serial:{ serial with hot_kb = 5.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.08;
+          inner_trip = Trip.Const 8;
+          hot_kb = 7.0;
+          if_density = 0.8 }
+      ();
+    mk ~name:"smithwa" ~suite:Suite.Spec_omp ~seed:210 ~serial_fraction:0.006
+      ~static_kb:75.0
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.075;
+          periodic_share = 0.08;
+          hot_kb = 5.0 }
+      ();
+    mk ~name:"kdtree" ~suite:Suite.Spec_omp ~seed:211 ~serial_fraction:0.008
+      ~static_kb:95.0
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { hpc_parallel_base with
+          branch_fraction = 0.09;
+          indirect_call_share = 0.10;
+          correlated_share = 0.08;
+          correlated_bits = 8;
+          inner_trip = Trip.Uniform (2, 12);
+          hot_kb = 8.0 }
+      () ]
+
+(* ------------------------------------------------------------------ *)
+(* NPB: classic CFD pseudo-applications; the most loop-dominated and
+   biased suite (90% of branches decided one way, 80% backward taken
+   in parallel sections). *)
+
+let npb =
+  let serial = hpc_serial_base in
+  let par =
+    { hpc_parallel_base with
+      if_density = 0.75;
+      bias_mix =
+        [ (0.64, (0.0, 0.05)); (0.28, (0.93, 1.0)); (0.08, (0.25, 0.65)) ] }
+  in
+  [ mk ~name:"BT" ~suite:Suite.Npb ~seed:301 ~serial_fraction:0.004
+      ~static_kb:180.0
+      ~serial:{ serial with hot_kb = 4.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.022;
+          avg_inst_bytes = 6.9;
+          inner_trip = Trip.Const 64;
+          if_density = 0.45;
+          hot_kb = 42.0 }
+      ();
+    mk ~name:"CG" ~suite:Suite.Npb ~seed:302 ~serial_fraction:0.004
+      ~static_kb:70.0
+      ~perf:{ data_stall_cpi = 1.2; scale_alpha = 0.98 }
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.16;
+          avg_inst_bytes = 5.0;
+          inner_trip = Trip.Const 14;
+          body_blocks = (1, 2);
+          hot_kb = 4.0 }
+      ();
+    mk ~name:"EP" ~suite:Suite.Npb ~seed:303 ~serial_fraction:0.003
+      ~static_kb:60.0
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.07;
+          indirect_call_share = 0.08;
+          inner_trip = Trip.Geometric 40.0;
+          correlated_share = 0.06;
+          hot_kb = 4.0 }
+      ();
+    mk ~name:"FT" ~suite:Suite.Npb ~seed:304 ~serial_fraction:0.005
+      ~static_kb:90.0
+      ~perf:{ data_stall_cpi = 0.8; scale_alpha = 1.60 }
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.05;
+          avg_inst_bytes = 6.2;
+          inner_trip = Trip.Const 256;
+          if_density = 0.5;
+          hot_kb = 4.0 }
+      ();
+    mk ~name:"IS" ~suite:Suite.Npb ~seed:305 ~serial_fraction:0.004
+      ~static_kb:40.0
+      ~serial:{ serial with hot_kb = 2.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.16;
+          avg_inst_bytes = 4.6;
+          inner_trip = Trip.Uniform (2, 8);
+          body_blocks = (1, 2);
+          hot_kb = 2.5 }
+      ();
+    mk ~name:"LU" ~suite:Suite.Npb ~seed:306 ~serial_fraction:0.004
+      ~static_kb:140.0
+      ~serial:{ serial with hot_kb = 4.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.05;
+          avg_inst_bytes = 6.3;
+          inner_trip = Trip.Const 100;
+          hot_kb = 8.0 }
+      ();
+    mk ~name:"MG" ~suite:Suite.Npb ~seed:307 ~serial_fraction:0.005
+      ~static_kb:100.0
+      ~perf:{ data_stall_cpi = 0.9; scale_alpha = 0.99 }
+      ~serial:{ serial with hot_kb = 3.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.055;
+          avg_inst_bytes = 6.0;
+          inner_trip = Trip.Const 64;
+          hot_kb = 6.0 }
+      ();
+    mk ~name:"SP" ~suite:Suite.Npb ~seed:308 ~serial_fraction:0.004
+      ~static_kb:160.0
+      ~serial:{ serial with hot_kb = 4.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.045;
+          avg_inst_bytes = 6.0;
+          inner_trip = Trip.Const 80;
+          hot_kb = 10.0 }
+      ();
+    mk ~name:"UA" ~suite:Suite.Npb ~seed:309 ~serial_fraction:0.006
+      ~static_kb:252.0
+      ~serial:{ serial with hot_kb = 5.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.08;
+          indirect_call_share = 0.08;
+          inner_trip = Trip.Uniform (4, 48);
+          hot_kb = 12.0;
+          if_density = 0.8 }
+      ();
+    mk ~name:"DC" ~suite:Suite.Npb ~seed:310 ~serial_fraction:0.006
+      ~static_kb:140.0
+      ~serial:{ serial with hot_kb = 4.0 }
+      ~parallel:
+        { par with
+          branch_fraction = 0.10;
+          avg_inst_bytes = 4.8;
+          inner_trip = Trip.Uniform (3, 20);
+          correlated_share = 0.08;
+          if_density = 1.0;
+          hot_kb = 20.0 }
+      () ]
+
+(* ------------------------------------------------------------------ *)
+(* SPEC CPU INT 2006: sequential desktop applications; 19% branches,
+   weakly biased, large footprints, short blocks. *)
+
+let spec_int =
+  let s = int_base in
+  let seq ?(perf = { data_stall_cpi = 0.7; scale_alpha = 1.0 }) ~name ~seed
+      ~static_kb ~section () =
+    let profile =
+      mk ~name ~suite:Suite.Spec_int ~seed ~serial_fraction:1.0 ~static_kb
+        ~proc_align:128 ~syscall_per_mil:10.0 ~perf ~serial:section
+        ~parallel:int_parallel_stub ()
+    in
+    { profile with total_insts = 3_000_000 }
+  in
+  [ seq ~name:"perlbench" ~seed:401 ~static_kb:360.0
+      ~section:
+        { s with branch_fraction = 0.21; indirect_call_share = 0.08;
+          hot_kb = 62.0 }
+      ();
+    seq ~name:"bzip2" ~seed:402 ~static_kb:120.0
+      ~section:
+        { s with
+          branch_fraction = 0.22;
+          correlated_share = 0.22;
+          correlated_bits = 10;
+          hot_kb = 46.0 }
+      ();
+    seq ~name:"gcc" ~seed:403 ~static_kb:450.0
+      ~section:
+        { s with
+          branch_fraction = 0.21;
+          if_density = 2.2;
+          n_kernels = 3;
+          hot_kb = 78.0 }
+      ();
+    seq ~name:"mcf" ~seed:404 ~static_kb:80.0
+      ~perf:{ data_stall_cpi = 1.8; scale_alpha = 1.0 }
+      ~section:
+        { s with
+          branch_fraction = 0.20;
+          bias_mix =
+            [ (0.25, (0.0, 0.08)); (0.15, (0.9, 1.0)); (0.35, (0.25, 0.75));
+              (0.25, (0.4, 0.6)) ];
+          hot_kb = 34.0 }
+      ();
+    seq ~name:"gobmk" ~seed:405 ~static_kb:300.0
+      ~section:
+        { s with
+          branch_fraction = 0.22;
+          correlated_share = 0.25;
+          correlated_bits = 7;
+          correlated_noise = 0.12;
+          bias_mix =
+            [ (0.40, (0.0, 0.08)); (0.20, (0.9, 1.0)); (0.25, (0.25, 0.75));
+              (0.15, (0.45, 0.6)) ];
+          hot_kb = 66.0 }
+      ();
+    seq ~name:"hmmer" ~seed:406 ~static_kb:160.0
+      ~section:
+        { s with
+          branch_fraction = 0.17;
+          bias_mix =
+            [ (0.45, (0.0, 0.06)); (0.3, (0.9, 1.0)); (0.25, (0.3, 0.7)) ];
+          correlated_share = 0.08;
+          hot_kb = 24.0 }
+      ();
+    seq ~name:"sjeng" ~seed:407 ~static_kb:220.0
+      ~section:
+        { s with
+          branch_fraction = 0.21;
+          correlated_share = 0.22;
+          correlated_bits = 7;
+          correlated_noise = 0.10;
+          hot_kb = 62.0 }
+      ();
+    seq ~name:"libquantum" ~seed:408 ~static_kb:90.0
+      ~section:
+        { s with
+          branch_fraction = 0.15;
+          inner_trip = Trip.Const 128;
+          bias_mix = [ (0.5, (0.0, 0.05)); (0.35, (0.92, 1.0)); (0.15, (0.3, 0.7)) ];
+          correlated_share = 0.04;
+          periodic_share = 0.05;
+          hot_kb = 20.0 }
+      ();
+    seq ~name:"h264ref" ~seed:409 ~static_kb:260.0
+      ~section:
+        { s with
+          branch_fraction = 0.13;
+          avg_inst_bytes = 4.6;
+          correlated_share = 0.10;
+          hot_kb = 14.0 }
+      ();
+    seq ~name:"omnetpp" ~seed:410 ~static_kb:280.0
+      ~section:
+        { s with
+          branch_fraction = 0.21;
+          indirect_call_share = 0.10;
+          hot_kb = 64.0 }
+      ();
+    seq ~name:"astar" ~seed:411 ~static_kb:120.0
+      ~section:
+        { s with
+          branch_fraction = 0.19;
+          bias_mix =
+            [ (0.38, (0.0, 0.08)); (0.20, (0.9, 1.0)); (0.26, (0.25, 0.75));
+              (0.16, (0.45, 0.6)) ];
+          correlated_noise = 0.09;
+          hot_kb = 44.0 }
+      ();
+    seq ~name:"xalancbmk" ~seed:412 ~static_kb:380.0
+      ~section:
+        { s with
+          branch_fraction = 0.22;
+          indirect_call_share = 0.12;
+          hot_kb = 66.0 }
+      () ]
+
+let all = exmatex @ spec_omp @ npb @ spec_int
+
+let by_suite suite = List.filter (fun p -> Suite.equal p.suite suite) all
+let names = List.map (fun p -> p.name) all
+
+let find name = List.find (fun p -> String.equal p.name name) all
+
+let fig6_subset =
+  [ "CoEVP"; "CoMD"; "botsspar"; "imagick"; "EP"; "FT"; "astar"; "gobmk";
+    "xalancbmk" ]
+
+let fig9_subset = [ "CoEVP"; "CoGL"; "fma3d"; "xalancbmk"; "omnetpp" ]
+let fig11_subset = [ "CoEVP"; "CoMD"; "fma3d"; "FT"; "h264ref"; "gobmk" ]

@@ -1,0 +1,30 @@
+(** The 41 calibrated benchmark profiles: 29 HPC applications
+    (8 ExMatEx proxy apps, 11 SPEC OMP 2012, 10 NPB) and 12 SPEC CPU
+    INT 2006 desktop applications.
+
+    Profile parameters are calibrated to the architecture-independent
+    characteristics the paper reports per suite and per named
+    benchmark (branch fractions of Fig. 1, bias distribution of
+    Fig. 2, backward/forward split of Table I, footprints of Fig. 3
+    incl. UA's 252KB and VPFFT's 800KB static sizes, basic-block
+    lengths of Fig. 4 incl. BT 312B / swim 152B / LULESH 126B, and the
+    serial-instruction shares of Section III-D: CoEVP 35%, LULESH 11%,
+    CoSP 9%, CoMD 8%, nab/fma3d 4%). See DESIGN.md §5. *)
+
+val all : Profile.t list
+(** Every profile, grouped by suite in report order. *)
+
+val by_suite : Suite.t -> Profile.t list
+val names : string list
+
+val find : string -> Profile.t
+(** Lookup by benchmark name (case-sensitive); raises [Not_found]. *)
+
+val fig6_subset : string list
+(** The nine benchmarks of the paper's Fig. 6. *)
+
+val fig9_subset : string list
+(** The five benchmarks of Fig. 9. *)
+
+val fig11_subset : string list
+(** The six benchmarks of Fig. 11. *)

@@ -1,0 +1,19 @@
+type t = Const of int | Uniform of int * int | Geometric of float
+
+let sample t rng =
+  match t with
+  | Const n -> max 1 n
+  | Uniform (lo, hi) -> max 1 (Repro_util.Rng.range rng lo hi)
+  | Geometric mean ->
+      let mean = Float.max 1.0 mean in
+      Repro_util.Rng.geometric rng (1.0 /. mean)
+
+let mean = function
+  | Const n -> float_of_int (max 1 n)
+  | Uniform (lo, hi) -> float_of_int (lo + hi) /. 2.0
+  | Geometric m -> Float.max 1.0 m
+
+let pp fmt = function
+  | Const n -> Format.fprintf fmt "const:%d" n
+  | Uniform (lo, hi) -> Format.fprintf fmt "uniform:%d-%d" lo hi
+  | Geometric m -> Format.fprintf fmt "geom:%.1f" m

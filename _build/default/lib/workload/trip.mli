@@ -1,0 +1,16 @@
+(** Loop trip-count models. A loop's backward branch is taken
+    [trip - 1] times and then falls through once; whether [trip] is
+    the same on every loop entry decides whether the loop predictor
+    can capture it (paper Section IV-A). *)
+
+type t =
+  | Const of int  (** same trip count on every entry (LBP-friendly) *)
+  | Uniform of int * int  (** fresh uniform draw in [lo, hi] per entry *)
+  | Geometric of float  (** fresh draw, mean given, at least 1 *)
+
+val sample : t -> Repro_util.Rng.t -> int
+(** Trip count for one loop entry; always at least 1. *)
+
+val mean : t -> float
+
+val pp : Format.formatter -> t -> unit

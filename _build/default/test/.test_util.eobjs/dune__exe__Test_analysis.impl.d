@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Float List Repro_analysis Repro_frontend Repro_isa Repro_workload

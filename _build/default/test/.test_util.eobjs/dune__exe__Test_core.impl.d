@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Option Printf Repro_core Repro_uarch Repro_util Repro_workload String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Filename List Printf Repro_analysis Repro_core Repro_frontend Repro_isa Repro_uarch Repro_util Repro_workload String Sys

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Bool Gen List Printf QCheck QCheck_alcotest Repro_frontend

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Lazy List Printf Repro_analysis Repro_frontend Repro_isa Repro_uarch Repro_util Repro_workload

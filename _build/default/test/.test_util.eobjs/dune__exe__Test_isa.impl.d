@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest List Repro_isa

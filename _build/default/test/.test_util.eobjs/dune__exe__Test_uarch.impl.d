@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Float List Printf Repro_frontend Repro_uarch Repro_workload String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bool Float List Printf QCheck QCheck_alcotest Repro_isa Repro_util Repro_workload Result String

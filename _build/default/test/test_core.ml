@@ -1,0 +1,192 @@
+(* Tests for the core library: experiment registry, reports, paper
+   data, and the rebalancing engine. *)
+
+module C = Repro_core
+module W = Repro_workload
+module U = Repro_uarch
+
+let test_experiment_roundtrip () =
+  List.iter
+    (fun id ->
+      match C.Experiment.of_string (C.Experiment.to_string id) with
+      | Some id' ->
+          Alcotest.(check string) "roundtrip" (C.Experiment.to_string id)
+            (C.Experiment.to_string id')
+      | None -> Alcotest.fail "of_string failed")
+    C.Experiment.all;
+  Alcotest.(check (option string)) "unknown id" None
+    (Option.map C.Experiment.to_string (C.Experiment.of_string "fig99"))
+
+let test_experiment_count () =
+  Alcotest.(check int) "14 experiments (11 figures + 3 tables)" 14
+    (List.length C.Experiment.all)
+
+let test_experiment_describe_nonempty () =
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "non-empty description" true
+        (String.length (C.Experiment.describe id) > 10))
+    C.Experiment.all
+
+let test_tab2_tab3_run () =
+  (* The pure-model experiments run instantly and must produce rows. *)
+  List.iter
+    (fun id ->
+      let tables = C.Experiment.run ~scale:0.01 id in
+      Alcotest.(check bool) "has tables" true (tables <> []);
+      List.iter
+        (fun t ->
+          Alcotest.(check bool) "renders" true
+            (String.length (Repro_util.Table.render t) > 50))
+        tables)
+    [ C.Experiment.Tab2; C.Experiment.Tab3 ]
+
+let test_report_string () =
+  let s = C.Report.run_to_string ~scale:0.01 C.Experiment.Tab3 in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 100 && String.sub s 0 4 = "====")
+
+let test_paper_data_consistency () =
+  (* Table III rest-of-core arithmetic must close. *)
+  let open C.Paper_data in
+  let sum_b =
+    tab3_baseline_icache.area_mm2 +. tab3_baseline_bp.area_mm2
+    +. tab3_baseline_btb.area_mm2
+  in
+  Alcotest.(check bool) "front-end under a quarter of the core" true
+    (sum_b /. tab3_baseline_core.area_mm2 < 0.25);
+  Alcotest.(check int) "fig1 has all four suites" 4
+    (List.length fig1_branch_pct);
+  Alcotest.(check int) "fig5 covers nine configs" 9
+    (List.length (snd (List.hd fig5_mpki)))
+
+let test_subsets_resolve () =
+  List.iter
+    (fun name -> ignore (W.Suites.find name))
+    (W.Suites.fig6_subset @ W.Suites.fig9_subset @ W.Suites.fig11_subset)
+
+let test_rebalance_estimate () =
+  let profiles = [ W.Suites.find "FT"; W.Suites.find "swim" ] in
+  let e =
+    C.Rebalance.estimate ~insts:80_000 U.Frontend_config.tailored profiles
+  in
+  Alcotest.(check bool) "area positive" true (e.area_mm2 > 0.0);
+  Alcotest.(check bool) "slowdown sane" true
+    (e.slowdown > 0.8 && e.slowdown < 1.5);
+  Alcotest.(check bool) "worst >= avg" true (e.slowdown >= e.avg_slowdown -. 1e-9)
+
+let test_rebalance_recommends_small_for_hpc () =
+  (* Loop-dominated workloads must admit a front-end no bigger than
+     the baseline, with rationale lines produced. *)
+  let profiles = [ W.Suites.find "FT"; W.Suites.find "swim";
+                   W.Suites.find "bwaves" ] in
+  let r =
+    C.Rebalance.recommend ~insts:100_000 ~max_slowdown:0.05 profiles
+  in
+  Alcotest.(check bool) "chose a design at most baseline-sized" true
+    (r.chosen.area_mm2 <= r.baseline.area_mm2 +. 1e-9);
+  Alcotest.(check bool) "rationale" true (List.length r.rationale >= 2);
+  Alcotest.(check bool) "candidates sorted by area" true
+    (let rec sorted = function
+       | (a : C.Rebalance.estimate) :: (b :: _ as rest) ->
+           a.area_mm2 <= b.area_mm2 +. 1e-9 && sorted rest
+       | _ -> true
+     in
+     sorted r.candidates)
+
+let test_rebalance_rejects_empty () =
+  Alcotest.check_raises "no profiles"
+    (Invalid_argument "Rebalance.estimate: no profiles") (fun () ->
+      ignore (C.Rebalance.estimate U.Frontend_config.baseline []))
+
+let test_default_candidates_include_tailored_shape () =
+  Alcotest.(check bool) "sweep covers the paper's tailored point" true
+    (List.exists
+       (fun (c : U.Frontend_config.t) ->
+         c.icache_bytes = 16384 && c.icache_line = 128 && c.bp_loop
+         && c.btb_entries = 256)
+       C.Rebalance.default_candidates)
+
+let test_ablation_structure () =
+  Alcotest.(check int) "8 variants" 8 (List.length C.Ablation.variants);
+  let names = List.map (fun v -> v.C.Ablation.vname) C.Ablation.variants in
+  Alcotest.(check bool) "baseline first" true (List.hd names = "baseline");
+  Alcotest.(check bool) "tailored last" true
+    (List.nth names 7 = "tailored (all)")
+
+let test_ablation_run () =
+  let rows = C.Ablation.run ~insts:60_000 [ W.Suites.find "FT" ] in
+  Alcotest.(check int) "one row per variant" 8 (List.length rows);
+  let baseline = List.hd rows and tailored = List.nth rows 7 in
+  Alcotest.(check (float 1e-9)) "baseline saves nothing" 0.0
+    baseline.C.Ablation.area_saving;
+  Alcotest.(check (float 1e-9)) "baseline slowdown 1.0" 1.0
+    baseline.C.Ablation.avg_slowdown;
+  Alcotest.(check bool) "tailored saves the most area" true
+    (List.for_all
+       (fun r -> r.C.Ablation.area_saving <= tailored.C.Ablation.area_saving)
+       rows);
+  Alcotest.(check bool) "renders" true
+    (String.length (Repro_util.Table.render (C.Ablation.table rows)) > 200)
+
+let test_thread_scaling_share () =
+  (* The paper's example: fma3d/nab ~4% serial at 8 threads grow to
+     ~18-19% at 64 threads. *)
+  let share = C.Thread_scaling.serial_share_at ~base_share:0.04 ~base_threads:8 64 in
+  Alcotest.(check bool) (Printf.sprintf "4%% at 8 -> %.0f%% at 64" (share *. 100.))
+    true
+    (share > 0.17 && share < 0.32);
+  Alcotest.(check (float 1e-9)) "identity at base" 0.04
+    (C.Thread_scaling.serial_share_at ~base_share:0.04 ~base_threads:8 8);
+  Alcotest.(check (float 1e-9)) "zero stays zero" 0.0
+    (C.Thread_scaling.serial_share_at ~base_share:0.0 ~base_threads:8 64)
+
+let test_thread_scaling_sweep () =
+  let p = W.Suites.find "CoEVP" in
+  let points = C.Thread_scaling.sweep ~insts:700_000 p in
+  Alcotest.(check int) "four core counts" 4 (List.length points);
+  let shares = List.map (fun pt -> pt.C.Thread_scaling.serial_share) points in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "serial share grows with cores" true (increasing shares);
+  List.iter
+    (fun pt ->
+      (* The asymmetric design must never lose materially to the
+         baseline (its master IS a baseline core); the tailored CMP
+         may, since its master pays for the serial sections. *)
+      Alcotest.(check bool) "asymmetric ~ baseline" true
+        (pt.C.Thread_scaling.asymmetric_vs_baseline <= 1.02))
+    points;
+  (* At manycore scale the serial bottleneck dominates: the tailored
+     CMP must clearly pay for it while the asymmetric CMP does not. *)
+  let last = List.nth points (List.length points - 1) in
+  Alcotest.(check bool) "tailored pays at 64 cores" true
+    (last.C.Thread_scaling.tailored_vs_baseline
+    > last.C.Thread_scaling.asymmetric_vs_baseline +. 0.005)
+
+let () =
+  Alcotest.run "core"
+    [ ("experiment",
+       [ Alcotest.test_case "roundtrip" `Quick test_experiment_roundtrip;
+         Alcotest.test_case "count" `Quick test_experiment_count;
+         Alcotest.test_case "describe" `Quick test_experiment_describe_nonempty;
+         Alcotest.test_case "tab2/tab3 run" `Quick test_tab2_tab3_run;
+         Alcotest.test_case "report string" `Quick test_report_string ]);
+      ("paper data",
+       [ Alcotest.test_case "consistency" `Quick test_paper_data_consistency;
+         Alcotest.test_case "subsets resolve" `Quick test_subsets_resolve ]);
+      ("ablation",
+       [ Alcotest.test_case "structure" `Quick test_ablation_structure;
+         Alcotest.test_case "run" `Quick test_ablation_run ]);
+      ("thread scaling",
+       [ Alcotest.test_case "serial share model" `Quick test_thread_scaling_share;
+         Alcotest.test_case "sweep" `Quick test_thread_scaling_sweep ]);
+      ("rebalance",
+       [ Alcotest.test_case "estimate" `Quick test_rebalance_estimate;
+         Alcotest.test_case "recommends small for HPC" `Slow
+           test_rebalance_recommends_small_for_hpc;
+         Alcotest.test_case "rejects empty" `Quick test_rebalance_rejects_empty;
+         Alcotest.test_case "candidate sweep shape" `Quick
+           test_default_candidates_include_tailored_shape ]) ]

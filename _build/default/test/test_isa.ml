@@ -1,0 +1,136 @@
+(* Unit tests for Repro_isa: instructions, basic blocks, traces. *)
+
+module Inst = Repro_isa.Inst
+module Section = Repro_isa.Section
+module Bblock = Repro_isa.Bblock
+module Trace = Repro_isa.Trace
+
+let mk ?kind ?taken ?target ?section ~addr () =
+  Inst.make ?kind ?taken ?target ?section ~addr ~size:4 ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_inst_defaults () =
+  let i = mk ~addr:0x400000 () in
+  Alcotest.(check bool) "plain is not a branch" false (Inst.is_branch i);
+  Alcotest.(check bool) "not conditional" false (Inst.is_conditional i);
+  Alcotest.(check bool) "not warmup" false i.Inst.warmup;
+  Alcotest.(check bool) "serial default" true
+    (Section.equal i.Inst.section Section.Serial)
+
+let test_inst_branch_classes () =
+  let branchy =
+    [ Inst.Cond_branch; Inst.Uncond_direct; Inst.Indirect_branch; Inst.Call;
+      Inst.Indirect_call; Inst.Return; Inst.Syscall ]
+  in
+  List.iter
+    (fun kind ->
+      let i = mk ~kind ~addr:0x1000 () in
+      Alcotest.(check bool) (Inst.kind_to_string kind) true (Inst.is_branch i))
+    branchy;
+  Alcotest.(check bool) "only cond is conditional" true
+    (Inst.is_conditional (mk ~kind:Inst.Cond_branch ~addr:0 ()))
+
+let test_inst_backward () =
+  let back = mk ~kind:Inst.Cond_branch ~taken:true ~target:0x900 ~addr:0x1000 () in
+  let fwd = mk ~kind:Inst.Cond_branch ~taken:true ~target:0x1100 ~addr:0x1000 () in
+  let nt = mk ~kind:Inst.Cond_branch ~taken:false ~target:0x900 ~addr:0x1000 () in
+  Alcotest.(check bool) "backward" true (Inst.is_backward back);
+  Alcotest.(check bool) "forward" false (Inst.is_backward fwd);
+  Alcotest.(check bool) "not taken is not backward" false (Inst.is_backward nt)
+
+let test_inst_clone () =
+  let i = mk ~kind:Inst.Call ~taken:true ~target:0x2000 ~addr:0x1000 () in
+  let c = Inst.clone i in
+  i.Inst.addr <- 0xdead;
+  Alcotest.(check int) "clone unaffected by mutation" 0x1000 c.Inst.addr;
+  Alcotest.(check int) "clone kept target" 0x2000 c.Inst.target
+
+(* ------------------------------------------------------------------ *)
+
+let test_bblock_valid () =
+  let b =
+    Bblock.make ~id:1 ~addr:0x400 ~size_bytes:20 ~n_insts:5
+      (Bblock.Branch Inst.Cond_branch)
+  in
+  Alcotest.(check int) "end addr" 0x414 (Bblock.end_addr b);
+  Alcotest.(check int) "last inst addr" 0x410 (Bblock.last_inst_addr b 4)
+
+let test_bblock_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Bblock.make: empty block")
+    (fun () ->
+      ignore (Bblock.make ~id:0 ~addr:0 ~size_bytes:4 ~n_insts:0 Bblock.Fallthrough));
+  Alcotest.check_raises "size" (Invalid_argument "Bblock.make: impossible size")
+    (fun () ->
+      ignore (Bblock.make ~id:0 ~addr:0 ~size_bytes:2 ~n_insts:5 Bblock.Fallthrough));
+  Alcotest.check_raises "plain terminator"
+    (Invalid_argument "Bblock.make: Plain terminator") (fun () ->
+      ignore
+        (Bblock.make ~id:0 ~addr:0 ~size_bytes:8 ~n_insts:2
+           (Bblock.Branch Inst.Plain)))
+
+(* ------------------------------------------------------------------ *)
+
+let insts_fixture () =
+  [ mk ~addr:0 ();
+    mk ~kind:Inst.Cond_branch ~taken:true ~target:0 ~addr:4 ();
+    mk ~addr:8 ~section:Section.Parallel ();
+    mk ~kind:Inst.Call ~taken:true ~target:64 ~addr:12 ~section:Section.Parallel () ]
+
+let test_trace_count () =
+  let t = Trace.of_list (insts_fixture ()) in
+  Alcotest.(check int) "count" 4 (Trace.count t);
+  Alcotest.(check int) "count is repeatable" 4 (Trace.count t)
+
+let test_trace_filter () =
+  let t = Trace.filter Inst.is_branch (Trace.of_list (insts_fixture ())) in
+  Alcotest.(check int) "two branches" 2 (Trace.count t)
+
+let test_trace_take () =
+  let t = Trace.take 2 (Trace.of_list (insts_fixture ())) in
+  Alcotest.(check int) "take 2" 2 (Trace.count t);
+  let t0 = Trace.take 0 (Trace.of_list (insts_fixture ())) in
+  Alcotest.(check int) "take 0" 0 (Trace.count t0);
+  let tbig = Trace.take 100 (Trace.of_list (insts_fixture ())) in
+  Alcotest.(check int) "take beyond end" 4 (Trace.count tbig)
+
+let test_trace_concat () =
+  let t = Trace.concat [ Trace.of_list (insts_fixture ()); Trace.empty;
+                         Trace.of_list (insts_fixture ()) ] in
+  Alcotest.(check int) "concat" 8 (Trace.count t)
+
+let test_trace_sections () =
+  let s, p = Trace.section_counts (Trace.of_list (insts_fixture ())) in
+  Alcotest.(check int) "serial" 2 s;
+  Alcotest.(check int) "parallel" 2 p
+
+let test_trace_to_list_clones () =
+  let original = insts_fixture () in
+  let t = Trace.of_list original in
+  let copy = Trace.to_list t in
+  (List.hd original).Inst.addr <- 0xbeef;
+  Alcotest.(check int) "to_list clones" 0 (List.hd copy).Inst.addr
+
+let test_trace_order () =
+  let t = Trace.of_list (insts_fixture ()) in
+  let addrs = List.map (fun i -> i.Inst.addr) (Trace.to_list t) in
+  Alcotest.(check (list int)) "program order" [ 0; 4; 8; 12 ] addrs
+
+let () =
+  Alcotest.run "isa"
+    [ ("inst",
+       [ Alcotest.test_case "defaults" `Quick test_inst_defaults;
+         Alcotest.test_case "branch classes" `Quick test_inst_branch_classes;
+         Alcotest.test_case "backward" `Quick test_inst_backward;
+         Alcotest.test_case "clone" `Quick test_inst_clone ]);
+      ("bblock",
+       [ Alcotest.test_case "valid" `Quick test_bblock_valid;
+         Alcotest.test_case "invalid" `Quick test_bblock_invalid ]);
+      ("trace",
+       [ Alcotest.test_case "count" `Quick test_trace_count;
+         Alcotest.test_case "filter" `Quick test_trace_filter;
+         Alcotest.test_case "take" `Quick test_trace_take;
+         Alcotest.test_case "concat" `Quick test_trace_concat;
+         Alcotest.test_case "sections" `Quick test_trace_sections;
+         Alcotest.test_case "to_list clones" `Quick test_trace_to_list_clones;
+         Alcotest.test_case "order" `Quick test_trace_order ]) ]

@@ -1,0 +1,192 @@
+(* Tests for the McPAT/Sniper substitute: CACTI fits, Table III
+   budgets, the CPI model and CMP evaluation. *)
+
+module U = Repro_uarch
+module W = Repro_workload
+
+let checkf eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+
+let test_cacti_fit_anchors () =
+  let fit = U.Cacti.powerlaw_fit (100.0, 10.0) (400.0, 20.0) in
+  checkf 1e-6 "anchor 1" 10.0 (U.Cacti.eval fit 100.0);
+  checkf 1e-6 "anchor 2" 20.0 (U.Cacti.eval fit 400.0);
+  checkf 1e-6 "exponent" 0.5 (U.Cacti.exponent fit)
+
+let test_cacti_fit_monotone () =
+  let fit = U.Cacti.powerlaw_fit (100.0, 10.0) (400.0, 20.0) in
+  Alcotest.(check bool) "monotone" true
+    (U.Cacti.eval fit 200.0 > 10.0 && U.Cacti.eval fit 200.0 < 20.0)
+
+let test_cacti_fit_invalid () =
+  Alcotest.check_raises "equal x"
+    (Invalid_argument "Cacti.powerlaw_fit: equal abscissae") (fun () ->
+      ignore (U.Cacti.powerlaw_fit (1.0, 1.0) (1.0, 2.0)))
+
+let test_cacti_generic_sram () =
+  Alcotest.(check bool) "area grows with bits" true
+    (U.Cacti.sram_area_mm2 ~bits:100_000 > U.Cacti.sram_area_mm2 ~bits:10_000);
+  Alcotest.(check bool) "leakage positive" true
+    (U.Cacti.sram_leakage_w ~bits:1000 > 0.0)
+
+(* ------------------------------------------------------------------ *)
+
+let test_mcpat_table3_baseline () =
+  let b = U.Mcpat.budget U.Frontend_config.baseline in
+  checkf 1e-3 "icache area" 0.31 b.icache_mm2;
+  checkf 1e-3 "bp area" 0.14 b.bp_mm2;
+  checkf 1e-3 "btb area" 0.125 b.btb_mm2;
+  checkf 1e-3 "icache power" 0.075 b.icache_w;
+  checkf 1e-3 "core area" 2.49
+    (U.Mcpat.core_area_mm2 U.Frontend_config.baseline);
+  checkf 1e-3 "core power" 0.85 (U.Mcpat.core_power_w U.Frontend_config.baseline)
+
+let test_mcpat_table3_tailored () =
+  let t = U.Mcpat.budget U.Frontend_config.tailored in
+  checkf 1e-3 "icache area" 0.14 t.icache_mm2;
+  checkf 1e-3 "bp area" 0.04 t.bp_mm2;
+  checkf 1e-3 "btb area" 0.022 t.btb_mm2;
+  checkf 0.02 "core area ~2.11" 2.11
+    (U.Mcpat.core_area_mm2 U.Frontend_config.tailored);
+  checkf 0.01 "core power ~0.79" 0.79
+    (U.Mcpat.core_power_w U.Frontend_config.tailored)
+
+let test_mcpat_headline_savings () =
+  checkf 0.02 "area saving ~16%" 0.16
+    (U.Mcpat.area_saving_vs_baseline U.Frontend_config.tailored);
+  checkf 0.01 "power saving ~7%" 0.07
+    (U.Mcpat.power_saving_vs_baseline U.Frontend_config.tailored)
+
+let test_mcpat_monotone_in_icache () =
+  let small = { U.Frontend_config.baseline with icache_bytes = 8192 } in
+  Alcotest.(check bool) "smaller icache, smaller core" true
+    (U.Mcpat.core_area_mm2 small
+    < U.Mcpat.core_area_mm2 U.Frontend_config.baseline)
+
+(* ------------------------------------------------------------------ *)
+
+let test_frontend_config_bp () =
+  let bp = U.Frontend_config.make_bp U.Frontend_config.tailored in
+  Alcotest.(check bool) "tailored bp has loop predictor" true
+    (String.length bp.Repro_frontend.Predictor.name > 2
+    && String.sub bp.Repro_frontend.Predictor.name 0 2 = "L-");
+  let fresh1 = U.Frontend_config.make_bp U.Frontend_config.baseline in
+  fresh1.Repro_frontend.Predictor.update 0x40 true;
+  let fresh2 = U.Frontend_config.make_bp U.Frontend_config.baseline in
+  Alcotest.(check bool) "instances are fresh" true
+    (fresh1 != fresh2)
+
+let test_timing_cpi_formula () =
+  let rates = { U.Timing.bp_mpki = 10.0; btb_mpki = 5.0; icache_mpki = 2.0 } in
+  let expected =
+    U.Timing.base_cpi +. 0.3
+    +. (10.0 /. 1000.0 *. U.Timing.bp_penalty)
+    +. (5.0 /. 1000.0 *. U.Timing.btb_penalty)
+    +. (2.0 /. 1000.0 *. U.Timing.icache_penalty)
+  in
+  checkf 1e-9 "cpi formula" expected (U.Timing.cpi ~data_stall:0.3 rates)
+
+let test_timing_measure_sections () =
+  let p = W.Suites.find "CoMD" in
+  let ex = W.Executor.create ~insts:150_000 p in
+  let m = U.Timing.measure U.Frontend_config.baseline (W.Executor.trace ex) in
+  Alcotest.(check bool) "serial insts measured" true (m.serial_insts > 0);
+  Alcotest.(check bool) "parallel insts measured" true (m.parallel_insts > 0);
+  Alcotest.(check bool) "rates finite" true
+    (Float.is_finite m.total.bp_mpki && Float.is_finite m.total.icache_mpki)
+
+let test_timing_measure_many_consistent () =
+  let p = W.Suites.find "FT" in
+  let ex = W.Executor.create ~insts:100_000 p in
+  let trace = W.Executor.trace ex in
+  match
+    U.Timing.measure_many
+      [ U.Frontend_config.baseline; U.Frontend_config.baseline ]
+      trace
+  with
+  | [ a; b ] ->
+      checkf 1e-9 "identical configs identical rates" a.total.bp_mpki
+        b.total.bp_mpki
+  | _ -> Alcotest.fail "expected two measurements"
+
+(* ------------------------------------------------------------------ *)
+
+let test_cmp_configs () =
+  Alcotest.(check int) "baseline cores" 8 (U.Cmp.n_cores U.Cmp.baseline_cmp);
+  Alcotest.(check int) "asym++ cores" 9 (U.Cmp.n_cores U.Cmp.asymmetric_plus_cmp);
+  (* Asymmetric++ fits the Baseline CMP area budget (the paper's whole
+     point): 9 cores with tailored workers vs 8 baseline cores. *)
+  let base = U.Cmp.area_mm2 U.Cmp.baseline_cmp in
+  let plus = U.Cmp.area_mm2 U.Cmp.asymmetric_plus_cmp in
+  Alcotest.(check bool)
+    (Printf.sprintf "area %.1f within 3%% of %.1f" plus base)
+    true
+    (plus /. base < 1.03)
+
+let test_cmp_baseline_self_relative () =
+  let p = W.Suites.find "FT" in
+  let e = U.Cmp.evaluate ~insts:100_000 U.Cmp.baseline_cmp p in
+  let r = U.Cmp.relative e ~baseline:e in
+  checkf 1e-9 "time" 1.0 r.time;
+  checkf 1e-9 "power" 1.0 r.power;
+  checkf 1e-9 "ed" 1.0 r.ed
+
+let test_cmp_asym_plus_speeds_up_hpc () =
+  let p = W.Suites.find "FT" in
+  let evals = U.Cmp.evaluate_many ~insts:200_000 U.Cmp.standard_configs p in
+  let base = List.nth evals 0 and plus = List.nth evals 3 in
+  let r = U.Cmp.relative plus ~baseline:base in
+  Alcotest.(check bool)
+    (Printf.sprintf "asym++ faster (%.3f)" r.time)
+    true (r.time < 0.95);
+  Alcotest.(check bool)
+    (Printf.sprintf "asym++ draws more power (%.3f)" r.power)
+    true
+    (r.power > 1.0)
+
+let test_cmp_sequential_unaffected_by_extra_cores () =
+  (* SPEC INT runs on the master; Asymmetric(+) masters are baseline
+     cores, so time must match the Baseline CMP exactly. *)
+  let p = W.Suites.find "h264ref" in
+  let evals = U.Cmp.evaluate_many ~insts:200_000 U.Cmp.standard_configs p in
+  let base = List.nth evals 0 and asym = List.nth evals 2 in
+  checkf 1e-6 "same serial time" 1.0
+    (U.Cmp.relative asym ~baseline:base).time
+
+let test_cmp_tailored_masters_hurt_serial_code () =
+  let p = W.Suites.find "gobmk" in
+  let evals = U.Cmp.evaluate_many ~insts:300_000 U.Cmp.standard_configs p in
+  let base = List.nth evals 0 and tailored = List.nth evals 1 in
+  let r = U.Cmp.relative tailored ~baseline:base in
+  Alcotest.(check bool)
+    (Printf.sprintf "tailored slower on desktop code (%.3f)" r.time)
+    true (r.time > 1.01)
+
+let () =
+  Alcotest.run "uarch"
+    [ ("cacti",
+       [ Alcotest.test_case "fit anchors" `Quick test_cacti_fit_anchors;
+         Alcotest.test_case "fit monotone" `Quick test_cacti_fit_monotone;
+         Alcotest.test_case "fit invalid" `Quick test_cacti_fit_invalid;
+         Alcotest.test_case "generic sram" `Quick test_cacti_generic_sram ]);
+      ("mcpat",
+       [ Alcotest.test_case "Table III baseline" `Quick test_mcpat_table3_baseline;
+         Alcotest.test_case "Table III tailored" `Quick test_mcpat_table3_tailored;
+         Alcotest.test_case "headline savings" `Quick test_mcpat_headline_savings;
+         Alcotest.test_case "monotone" `Quick test_mcpat_monotone_in_icache ]);
+      ("timing",
+       [ Alcotest.test_case "frontend config bp" `Quick test_frontend_config_bp;
+         Alcotest.test_case "cpi formula" `Quick test_timing_cpi_formula;
+         Alcotest.test_case "measure sections" `Quick test_timing_measure_sections;
+         Alcotest.test_case "measure_many" `Quick
+           test_timing_measure_many_consistent ]);
+      ("cmp",
+       [ Alcotest.test_case "configs" `Quick test_cmp_configs;
+         Alcotest.test_case "self relative" `Quick test_cmp_baseline_self_relative;
+         Alcotest.test_case "asym++ speedup" `Quick
+           test_cmp_asym_plus_speeds_up_hpc;
+         Alcotest.test_case "sequential unaffected" `Quick
+           test_cmp_sequential_unaffected_by_extra_cores;
+         Alcotest.test_case "tailored hurts desktop" `Quick
+           test_cmp_tailored_masters_hurt_serial_code ]) ]

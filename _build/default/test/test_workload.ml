@@ -1,0 +1,497 @@
+(* Tests for the workload substrate: behaviours, trips, profiles,
+   code generation and the executor. *)
+
+module W = Repro_workload
+module P = W.Program
+module Inst = Repro_isa.Inst
+module Rng = Repro_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Behaviours *)
+
+let test_behavior_bernoulli_rate () =
+  let b = W.Behavior.bernoulli ~p:0.2 in
+  let rng = Rng.create 1 in
+  let n = 20_000 and hits = ref 0 in
+  for _ = 1 to n do
+    if W.Behavior.next b rng ~global_hist:0 ~path:0 then incr hits
+  done;
+  Alcotest.(check (float 0.02)) "rate" 0.2 (float_of_int !hits /. float_of_int n);
+  Alcotest.(check (float 1e-9)) "mean_rate" 0.2 (W.Behavior.mean_rate b)
+
+let test_behavior_periodic () =
+  let b = W.Behavior.periodic ~pattern:[| true; false; false |] in
+  let rng = Rng.create 2 in
+  let out = List.init 6 (fun _ -> W.Behavior.next b rng ~global_hist:0 ~path:0) in
+  Alcotest.(check (list bool)) "repeats"
+    [ true; false; false; true; false; false ] out;
+  Alcotest.(check (float 1e-9)) "mean" (1.0 /. 3.0) (W.Behavior.mean_rate b)
+
+let test_behavior_periodic_reset () =
+  let b = W.Behavior.periodic ~pattern:[| true; false |] in
+  let rng = Rng.create 3 in
+  ignore (W.Behavior.next b rng ~global_hist:0 ~path:0);
+  W.Behavior.reset b;
+  Alcotest.(check bool) "restarts" true
+    (W.Behavior.next b rng ~global_hist:0 ~path:0)
+
+let test_behavior_correlated_deterministic () =
+  let b = W.Behavior.correlated ~hist_bits:6 ~salt:0x2f ~noise:0.0 in
+  let rng = Rng.create 4 in
+  let h = 0b101101 in
+  let a = W.Behavior.next b rng ~global_hist:h ~path:0 in
+  let c = W.Behavior.next b rng ~global_hist:h ~path:0 in
+  Alcotest.(check bool) "same history same outcome" a c
+
+let test_behavior_path_dependent () =
+  let b = W.Behavior.path_dependent ~outcomes:[| true; false |] ~noise:0.0 in
+  let rng = Rng.create 5 in
+  Alcotest.(check bool) "path 0" true (W.Behavior.next b rng ~global_hist:0 ~path:0);
+  Alcotest.(check bool) "path 1" false (W.Behavior.next b rng ~global_hist:0 ~path:1);
+  Alcotest.(check bool) "path wraps" true
+    (W.Behavior.next b rng ~global_hist:0 ~path:2)
+
+(* ------------------------------------------------------------------ *)
+(* Trips *)
+
+let test_trip_const () =
+  let rng = Rng.create 6 in
+  Alcotest.(check int) "const" 12 (W.Trip.sample (W.Trip.Const 12) rng);
+  Alcotest.(check int) "const min 1" 1 (W.Trip.sample (W.Trip.Const 0) rng)
+
+let test_trip_uniform_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = W.Trip.sample (W.Trip.Uniform (3, 9)) rng in
+    Alcotest.(check bool) "in [3,9]" true (v >= 3 && v <= 9)
+  done
+
+let test_trip_geometric_mean () =
+  let rng = Rng.create 8 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + W.Trip.sample (W.Trip.Geometric 20.0) rng
+  done;
+  Alcotest.(check (float 1.0)) "mean ~20" 20.0
+    (float_of_int !sum /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Profiles *)
+
+let test_profiles_validate () =
+  List.iter
+    (fun (p : W.Profile.t) ->
+      match W.Profile.validate p with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s invalid: %s" p.name msg)
+    W.Suites.all
+
+let test_profile_counts () =
+  Alcotest.(check int) "41 benchmarks" 41 (List.length W.Suites.all);
+  Alcotest.(check int) "8 ExMatEx" 8
+    (List.length (W.Suites.by_suite W.Suite.Exmatex));
+  Alcotest.(check int) "11 SPEC OMP" 11
+    (List.length (W.Suites.by_suite W.Suite.Spec_omp));
+  Alcotest.(check int) "10 NPB" 10 (List.length (W.Suites.by_suite W.Suite.Npb));
+  Alcotest.(check int) "12 SPEC INT" 12
+    (List.length (W.Suites.by_suite W.Suite.Spec_int))
+
+let test_profile_unique_names_seeds () =
+  let names = W.Suites.names in
+  let uniq = List.sort_uniq compare names in
+  Alcotest.(check int) "unique names" (List.length names) (List.length uniq);
+  let seeds = List.map (fun (p : W.Profile.t) -> p.seed) W.Suites.all in
+  Alcotest.(check int) "unique seeds" (List.length seeds)
+    (List.length (List.sort_uniq compare seeds))
+
+let test_profile_find () =
+  let p = W.Suites.find "LULESH" in
+  Alcotest.(check bool) "suite" true (W.Suite.equal p.suite W.Suite.Exmatex);
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (W.Suites.find "doom3"))
+
+let test_profile_validate_rejects () =
+  let p = W.Suites.find "FT" in
+  let bad = { p with serial_fraction = 1.5 } in
+  Alcotest.(check bool) "bad fraction rejected" true
+    (Result.is_error (W.Profile.validate bad));
+  let bad2 = { p with static_kb = 1.0 } in
+  Alcotest.(check bool) "hot code must fit" true
+    (Result.is_error (W.Profile.validate bad2))
+
+let test_profile_scale () =
+  let p = W.Suites.find "FT" in
+  let s = W.Profile.scale p 0.5 in
+  Alcotest.(check int) "halved" (p.total_insts / 2) s.total_insts;
+  let tiny = W.Profile.scale p 0.0001 in
+  Alcotest.(check int) "floored" 50_000 tiny.total_insts
+
+(* ------------------------------------------------------------------ *)
+(* Codegen / layout *)
+
+let program_of name = W.Codegen.generate (W.Suites.find name)
+
+let test_layout_no_overlap () =
+  let prog = program_of "CoMD" in
+  let spans = ref [] in
+  List.iter
+    (fun proc -> P.iter_blocks proc (fun b ->
+         spans := (b.P.addr, b.P.addr + P.block_bytes b) :: !spans))
+    prog.P.procs;
+  let sorted = List.sort compare !spans in
+  let rec check = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+        Alcotest.(check bool) "no overlap" true (e1 <= s2);
+        check rest
+    | _ -> ()
+  in
+  check sorted
+
+let test_layout_alignment () =
+  let p = W.Suites.find "CoMD" in
+  let prog = W.Codegen.generate p in
+  List.iter
+    (fun proc ->
+      Alcotest.(check int) "aligned entry" 0 (proc.P.entry mod p.proc_align))
+    prog.P.procs
+
+let test_layout_static_size () =
+  List.iter
+    (fun name ->
+      let p = W.Suites.find name in
+      let prog = W.Codegen.generate p in
+      let kb = float_of_int (P.static_bytes prog) /. 1024.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s static %.0fKB within 40%% of %.0fKB" name kb
+           p.static_kb)
+        true
+        (kb > p.static_kb *. 0.6 && kb < p.static_kb *. 1.4))
+    [ "CoMD"; "VPFFT"; "FT"; "gobmk" ]
+
+let test_layout_cond_targets_patched () =
+  let prog = program_of "FT" in
+  List.iter
+    (fun proc ->
+      P.iter_blocks proc (fun b ->
+          match b.P.term with
+          | P.Cond c ->
+              Alcotest.(check bool) "cond target set" true (c.P.ctarget > 0)
+          | P.Jump j ->
+              Alcotest.(check bool) "jump target set" true (j.P.jtarget > 0)
+          | P.Fall | P.Callt _ | P.Ret | P.Sys -> ()))
+    prog.P.procs
+
+let test_loop_backedge_is_backward () =
+  let prog = program_of "FT" in
+  let rec walk_stmt = function
+    | P.Loop l ->
+        (match l.P.lback.P.term with
+        | P.Cond c ->
+            Alcotest.(check bool) "back edge jumps backward" true
+              (c.P.ctarget < l.P.lback.P.addr)
+        | P.Fall | P.Jump _ | P.Callt _ | P.Ret | P.Sys ->
+            Alcotest.fail "loop back must be Cond");
+        List.iter walk_stmt l.P.lbody
+    | P.If i ->
+        List.iter walk_stmt i.P.ithen;
+        List.iter walk_stmt i.P.ielse
+    | P.Basic _ | P.Call_site _ -> ()
+  in
+  Array.iter
+    (fun k -> List.iter walk_stmt k.P.pbody)
+    prog.P.parallel_kernels
+
+let test_codegen_deterministic () =
+  let p1 = program_of "CoMD" and p2 = program_of "CoMD" in
+  Alcotest.(check int) "same static size" (P.static_bytes p1) (P.static_bytes p2);
+  Alcotest.(check int) "same image end" p1.P.image_end p2.P.image_end
+
+(* ------------------------------------------------------------------ *)
+(* Executor *)
+
+let run_counts ?(insts = 120_000) name =
+  let p = W.Suites.find name in
+  let ex = W.Executor.create ~insts p in
+  let total = ref 0 and warm = ref 0 and serial = ref 0 and branches = ref 0 in
+  W.Executor.run ex (fun i ->
+      incr total;
+      if i.Inst.warmup then incr warm
+      else begin
+        if Repro_isa.Section.equal i.Inst.section Repro_isa.Section.Serial then
+          incr serial;
+        if Inst.is_branch i then incr branches
+      end);
+  (!total, !warm, !serial, !branches)
+
+let test_executor_budget () =
+  let total, _, _, _ = run_counts ~insts:120_000 "CoMD" in
+  Alcotest.(check bool)
+    (Printf.sprintf "emitted %d within [60k, 150k]" total)
+    true
+    (total > 60_000 && total <= 150_000)
+
+let test_executor_warmup_prefix () =
+  let p = W.Suites.find "CoMD" in
+  let ex = W.Executor.create ~insts:100_000 p in
+  let seen_steady = ref false in
+  W.Executor.run ex (fun i ->
+      if i.Inst.warmup then
+        Alcotest.(check bool) "warmup only before steady state" false
+          !seen_steady
+      else seen_steady := true)
+
+let test_executor_deterministic_replay () =
+  let p = W.Suites.find "botsspar" in
+  let ex = W.Executor.create ~insts:80_000 p in
+  let digest () =
+    let h = ref 0 in
+    W.Executor.run ex (fun i ->
+        h := (!h * 31) + i.Inst.addr + Bool.to_int i.Inst.taken
+             land 0xFFFFFF);
+    !h
+  in
+  Alcotest.(check int) "replay identical" (digest ()) (digest ())
+
+let test_executor_serial_fraction () =
+  let p = W.Suites.find "CoEVP" in
+  (* CoEVP: 35% of steady-state instructions in serial sections *)
+  let ex = W.Executor.create ~insts:400_000 p in
+  let serial = ref 0 and steady = ref 0 in
+  W.Executor.run ex (fun i ->
+      if not i.Inst.warmup then begin
+        incr steady;
+        if Repro_isa.Section.equal i.Inst.section Repro_isa.Section.Serial then
+          incr serial
+      end);
+  let frac = float_of_int !serial /. float_of_int !steady in
+  Alcotest.(check (float 0.08)) "serial fraction" 0.35 frac
+
+let test_executor_branch_targets_consistent () =
+  let p = W.Suites.find "FT" in
+  let ex = W.Executor.create ~insts:100_000 p in
+  W.Executor.run ex (fun i ->
+      if Inst.is_branch i && i.Inst.taken && i.Inst.kind <> Inst.Syscall then
+        Alcotest.(check bool) "taken branch has a target" true
+          (i.Inst.target > 0))
+
+let test_executor_returns_match_calls () =
+  let p = W.Suites.find "CoMD" in
+  let ex = W.Executor.create ~insts:150_000 p in
+  let calls = ref 0 and rets = ref 0 in
+  W.Executor.run ex (fun i ->
+      match i.Inst.kind with
+      | Inst.Call | Inst.Indirect_call -> incr calls
+      | Inst.Return -> incr rets
+      | Inst.Plain | Inst.Cond_branch | Inst.Uncond_direct
+      | Inst.Indirect_branch | Inst.Syscall -> ());
+  (* Cold-sweep returns make rets slightly exceed call-paired ones. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "calls %d ~ rets %d" !calls !rets)
+    true
+    (abs (!calls - !rets) < !calls / 2 + 200)
+
+let test_executor_addresses_in_image () =
+  let p = W.Suites.find "swim" in
+  let ex = W.Executor.create ~insts:80_000 p in
+  let image_end = (W.Executor.program ex).P.image_end in
+  W.Executor.run ex (fun i ->
+      Alcotest.(check bool) "address within image" true
+        (i.Inst.addr >= 0x400000 && i.Inst.addr < image_end))
+
+(* ------------------------------------------------------------------ *)
+(* Profile_io *)
+
+let test_profile_io_roundtrip () =
+  let p = W.Suites.find "FT" in
+  match W.Profile_io.parse (W.Profile_io.to_string p) with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok q ->
+      Alcotest.(check string) "name" p.name q.name;
+      Alcotest.(check int) "seed" p.seed q.seed;
+      Alcotest.(check (float 1e-9)) "branch fraction"
+        p.parallel.branch_fraction q.parallel.branch_fraction;
+      Alcotest.(check bool) "trip" true
+        (p.parallel.inner_trip = q.parallel.inner_trip);
+      Alcotest.(check bool) "bias mix" true
+        (List.length p.parallel.bias_mix = List.length q.parallel.bias_mix)
+
+let test_profile_io_like_template () =
+  let src =
+    "name = my-app\nlike = FT\nserial_fraction = 0.02\n\
+     parallel.inner_trip = const:99\n"
+  in
+  match W.Profile_io.parse src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok p ->
+      Alcotest.(check string) "name" "my-app" p.name;
+      Alcotest.(check (float 1e-9)) "override" 0.02 p.serial_fraction;
+      Alcotest.(check bool) "trip" true (p.parallel.inner_trip = W.Trip.Const 99);
+      (* inherited from FT *)
+      Alcotest.(check (float 1e-9)) "inherited static" 90.0 p.static_kb
+
+let test_profile_io_errors () =
+  let check_err src frag =
+    match W.Profile_io.parse src with
+    | Ok _ -> Alcotest.failf "expected error for %S" src
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S (got %S)" src frag e)
+          true
+          (let n = String.length frag and h = String.length e in
+           let rec go i = i + n <= h && (String.sub e i n = frag || go (i + 1)) in
+           go 0)
+  in
+  check_err "nonsense line" "missing '='";
+  check_err "frobnicate = 3" "unknown key";
+  check_err "like = doom3" "unknown template";
+  check_err "parallel.inner_trip = const:x" "bad const trip";
+  check_err "serial_fraction = 2.0" "invalid profile"
+
+let test_profile_io_comments_and_blanks () =
+  match W.Profile_io.parse "# header\n\nname = x # trailing\nlike = FT\n" with
+  | Ok p -> Alcotest.(check string) "name" "x" p.name
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_behavior_mean_rate_bounded =
+  QCheck.Test.make ~name:"mean_rate within [0,1]" ~count:100
+    QCheck.(pair (float_bound_inclusive 1.0) (int_range 1 8))
+    (fun (p, k) ->
+      let rng = Rng.create 77 in
+      let mk =
+        [ W.Behavior.bernoulli ~p;
+          W.Behavior.path_dependent
+            ~outcomes:(Array.init k (fun _ -> Rng.bool rng))
+            ~noise:0.0;
+          W.Behavior.correlated ~hist_bits:6 ~salt:12345 ~noise:0.1 ]
+      in
+      List.for_all
+        (fun b ->
+          let r = W.Behavior.mean_rate b in
+          r >= 0.0 && r <= 1.0)
+        mk)
+
+let prop_trip_positive =
+  QCheck.Test.make ~name:"trips always positive" ~count:200
+    QCheck.(triple (int_range (-5) 100) (int_range 1 50) (float_bound_inclusive 100.0))
+    (fun (c, u, g) ->
+      let rng = Rng.create 99 in
+      W.Trip.sample (W.Trip.Const c) rng >= 1
+      && W.Trip.sample (W.Trip.Uniform (1, u)) rng >= 1
+      && W.Trip.sample (W.Trip.Geometric (Float.max 1.0 g)) rng >= 1)
+
+let prop_scale_monotone =
+  QCheck.Test.make ~name:"Profile.scale monotone" ~count:50
+    QCheck.(pair (float_range 0.01 2.0) (float_range 0.01 2.0))
+    (fun (a, b) ->
+      let p = W.Suites.find "FT" in
+      let pa = W.Profile.scale p a and pb = W.Profile.scale p b in
+      (a <= b) = (pa.total_insts <= pb.total_insts)
+      || pa.total_insts = pb.total_insts)
+
+let prop_executor_sections_tagged =
+  QCheck.Test.make ~name:"sections tagged consistently" ~count:4
+    (QCheck.make (QCheck.Gen.oneofl [ "FT"; "CoMD"; "gobmk"; "botsspar" ]))
+    (fun name ->
+      let p = W.Suites.find name in
+      let ex = W.Executor.create ~insts:60_000 p in
+      let ok = ref true in
+      W.Executor.run ex (fun i ->
+          if i.Inst.addr < 0x400000 then ok := false;
+          if i.Inst.size < 1 || i.Inst.size > 14 then ok := false);
+      !ok)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* ------------------------------------------------------------------ *)
+(* Calibration regression net: every benchmark's measured steady-state
+   branch fraction must stay within a band of its profile target, and
+   every trace must contain both taken and not-taken conditionals. *)
+
+let test_calibration_all_benchmarks () =
+  List.iter
+    (fun (p : W.Profile.t) ->
+      let insts = 400_000 in
+      let ex = W.Executor.create ~insts p in
+      let steady = ref 0 and branches = ref 0 in
+      let taken = ref 0 and not_taken = ref 0 in
+      W.Executor.run ex (fun i ->
+          if not i.Inst.warmup then begin
+            incr steady;
+            if Inst.is_branch i then incr branches;
+            if i.Inst.kind = Inst.Cond_branch then
+              if i.Inst.taken then incr taken else incr not_taken
+          end);
+      let measured = float_of_int !branches /. float_of_int !steady in
+      let target =
+        (p.serial_fraction *. p.serial.branch_fraction)
+        +. ((1.0 -. p.serial_fraction) *. p.parallel.branch_fraction)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: branch fraction %.3f within 2.5x of target %.3f"
+           p.name measured target)
+        true
+        (measured > target /. 2.5 && measured < target *. 2.5);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: both directions present" p.name)
+        true
+        (!taken > 0 && !not_taken > 0))
+    W.Suites.all
+
+let () =
+  Alcotest.run "workload"
+    [ ("behavior",
+       [ Alcotest.test_case "bernoulli rate" `Quick test_behavior_bernoulli_rate;
+         Alcotest.test_case "periodic" `Quick test_behavior_periodic;
+         Alcotest.test_case "periodic reset" `Quick test_behavior_periodic_reset;
+         Alcotest.test_case "correlated" `Quick
+           test_behavior_correlated_deterministic;
+         Alcotest.test_case "path dependent" `Quick test_behavior_path_dependent ]);
+      ("trip",
+       [ Alcotest.test_case "const" `Quick test_trip_const;
+         Alcotest.test_case "uniform bounds" `Quick test_trip_uniform_bounds;
+         Alcotest.test_case "geometric mean" `Quick test_trip_geometric_mean ]);
+      ("profiles",
+       [ Alcotest.test_case "all validate" `Quick test_profiles_validate;
+         Alcotest.test_case "counts" `Quick test_profile_counts;
+         Alcotest.test_case "unique names/seeds" `Quick
+           test_profile_unique_names_seeds;
+         Alcotest.test_case "find" `Quick test_profile_find;
+         Alcotest.test_case "validate rejects" `Quick test_profile_validate_rejects;
+         Alcotest.test_case "scale" `Quick test_profile_scale ]);
+      ("codegen",
+       [ Alcotest.test_case "no overlap" `Quick test_layout_no_overlap;
+         Alcotest.test_case "alignment" `Quick test_layout_alignment;
+         Alcotest.test_case "static size" `Quick test_layout_static_size;
+         Alcotest.test_case "targets patched" `Quick
+           test_layout_cond_targets_patched;
+         Alcotest.test_case "backward back-edges" `Quick
+           test_loop_backedge_is_backward;
+         Alcotest.test_case "deterministic" `Quick test_codegen_deterministic ]);
+      ("calibration",
+       [ Alcotest.test_case "all 41 benchmarks in band" `Slow
+           test_calibration_all_benchmarks ]);
+      ("profile_io",
+       [ Alcotest.test_case "roundtrip" `Quick test_profile_io_roundtrip;
+         Alcotest.test_case "like template" `Quick test_profile_io_like_template;
+         Alcotest.test_case "errors" `Quick test_profile_io_errors;
+         Alcotest.test_case "comments" `Quick test_profile_io_comments_and_blanks ]);
+      ("properties",
+       qcheck
+         [ prop_behavior_mean_rate_bounded; prop_trip_positive;
+           prop_scale_monotone; prop_executor_sections_tagged ]);
+      ("executor",
+       [ Alcotest.test_case "budget" `Quick test_executor_budget;
+         Alcotest.test_case "warmup prefix" `Quick test_executor_warmup_prefix;
+         Alcotest.test_case "deterministic replay" `Quick
+           test_executor_deterministic_replay;
+         Alcotest.test_case "serial fraction" `Quick test_executor_serial_fraction;
+         Alcotest.test_case "taken targets" `Quick
+           test_executor_branch_targets_consistent;
+         Alcotest.test_case "calls vs returns" `Quick
+           test_executor_returns_match_calls;
+         Alcotest.test_case "addresses in image" `Quick
+           test_executor_addresses_in_image ]) ]
