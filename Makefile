@@ -1,0 +1,35 @@
+# Convenience targets; `make smoke` is the CI entry point and
+# exercises the parallel + cached experiment path end to end.
+
+DUNE ?= dune
+
+.PHONY: all build test smoke bench clean cache-clear
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test: build
+	$(DUNE) runtest
+
+# Fast end-to-end check: full test suite, then a parallel fig1
+# regeneration twice over a fresh cache — the second run must be
+# served entirely from disk (see the engine-stats footer).
+smoke: test
+	rm -rf _smoke_cache
+	REPRO_SCALE=0.05 REPRO_CACHE_DIR=_smoke_cache \
+	  $(DUNE) exec bench/main.exe -- fig1 -j 4
+	REPRO_SCALE=0.05 REPRO_CACHE_DIR=_smoke_cache \
+	  $(DUNE) exec bench/main.exe -- fig1 -j 4
+	rm -rf _smoke_cache
+
+bench: build
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean
+	rm -rf _cache _smoke_cache
+
+cache-clear:
+	$(DUNE) exec bin/repro_cli.exe -- cache clear

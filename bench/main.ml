@@ -6,6 +6,11 @@
                                               Bechamel microbenchmarks
      dune exec bench/main.exe -- fig5 tab3    only those experiments
      dune exec bench/main.exe -- micro        only the microbenchmarks
+     dune exec bench/main.exe -- fig1 -j 4    shard trace runs over
+                                              4 domains (default: all
+                                              cores; results identical)
+     dune exec bench/main.exe -- --no-cache   ignore the persistent
+                                              _cache/ directory
      REPRO_SCALE=0.2 dune exec bench/main.exe faster, noisier runs *)
 
 module W = Repro_workload
@@ -20,13 +25,14 @@ let scale =
 (* ------------------------------------------------------------------ *)
 (* Experiment regeneration: one section per paper table/figure. *)
 
-let run_experiment id =
+let run_experiment ~jobs id =
   let t0 = Unix.gettimeofday () in
-  print_string (Repro_core.Report.run_to_string ~scale id);
-  Printf.printf "(%s regenerated in %.1fs at scale %g)\n\n"
+  print_string (Repro_core.Report.run_to_string ~scale ~jobs id);
+  Printf.printf "(%s regenerated in %.1fs at scale %g, %d job%s)\n\n"
     (Repro_core.Experiment.to_string id)
     (Unix.gettimeofday () -. t0)
-    scale
+    scale jobs
+    (if jobs = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator substrate: one group per
@@ -154,8 +160,33 @@ let thread_scaling () =
       print_newline ())
     [ "CoEVP"; "fma3d" ]
 
+let valid_ids () =
+  String.concat " "
+    (List.map Repro_core.Experiment.to_string Repro_core.Experiment.all)
+
+(* Strip [-j N] / [--jobs N] and [--no-cache] out of the argument
+   list, returning (jobs, remaining args). *)
+let parse_flags args =
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("-j" | "--jobs") :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j > 0 -> go j acc rest
+        | Some _ | None ->
+            Printf.eprintf "bad job count %S (want a positive integer)\n" n;
+            exit 2)
+    | [ ("-j" | "--jobs") ] ->
+        Printf.eprintf "missing job count after -j\n";
+        exit 2
+    | "--no-cache" :: rest ->
+        Repro_core.Cache.set_enabled false;
+        go jobs acc rest
+    | a :: rest -> go jobs (a :: acc) rest
+  in
+  go (Repro_core.Engine.default_jobs ()) [] args
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = parse_flags (List.tl (Array.to_list Sys.argv)) in
   let extras = [ "micro"; "ablation"; "scaling"; "extension" ] in
   let wants x = args = [] || List.mem x args in
   let wants_micro = wants "micro" in
@@ -168,14 +199,25 @@ let () =
             match Repro_core.Experiment.of_string s with
             | Some id -> id
             | None ->
-                Printf.eprintf "unknown experiment %s\n" s;
-                exit 1)
+                Printf.eprintf
+                  "unknown experiment %S\nvalid experiment ids: %s\n\
+                   extra sections: %s\n"
+                  s (valid_ids ()) (String.concat " " extras);
+                exit 2)
           picks
   in
   Printf.printf
     "frontend-repro benchmark harness — scale %g (set REPRO_SCALE to change)\n\n"
     scale;
-  List.iter run_experiment ids;
+  List.iter (run_experiment ~jobs) ids;
+  if ids <> [] then begin
+    let s = Repro_core.Engine.stats () in
+    Printf.printf
+      "(engine: %d tasks over <=%d domains, persistent cache: %d hits, %d \
+       misses%s)\n\n"
+      s.tasks_run s.max_domains s.cache_hits s.cache_misses
+      (if Repro_core.Cache.enabled () then "" else " [disabled]")
+  end;
   if wants "ablation" then ablation ();
   if wants "scaling" then thread_scaling ();
   if wants "extension" then extension_study ();

@@ -6,7 +6,8 @@
      experiment ID            regenerate one table/figure
      report                   regenerate everything
      recommend [--suite S]    run the rebalancing engine
-     experiments-md           emit EXPERIMENTS.md content *)
+     experiments-md           emit EXPERIMENTS.md content
+     cache clear|info         manage the persistent _cache/ directory *)
 
 open Cmdliner
 
@@ -16,6 +17,30 @@ let scale_arg =
      (1.0 = full runs, smaller = faster and noisier)."
   in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+(* Evaluated per command invocation: [-j N] bounds the Engine domain
+   pool and [--no-cache] disables the persistent cache, neither of
+   which changes any result. *)
+let jobs_arg =
+  let doc =
+    "Number of domains sharding per-benchmark trace runs (default: all \
+     cores, or \\$(b,REPRO_JOBS)). Results are bit-identical for any value; \
+     $(b,-j 1) forces a sequential run."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Ignore the persistent characterization cache (also \
+     \\$(b,REPRO_CACHE=0)); every trace is regenerated."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let apply_engine_flags jobs no_cache =
+  if no_cache then Repro_core.Cache.set_enabled false;
+  match jobs with
+  | Some j when j > 0 -> Repro_core.Engine.set_default_jobs j
+  | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -110,30 +135,69 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
            ~doc:"Experiment id, e.g. fig5 or tab3")
   in
-  let run scale id =
+  let run scale jobs no_cache id =
+    apply_engine_flags jobs no_cache;
     match Repro_core.Experiment.of_string id with
     | None ->
-        Printf.eprintf "unknown experiment %s (try `list`)\n" id;
+        Printf.eprintf "unknown experiment %s; valid ids: %s\n" id
+          (String.concat " "
+             (List.map Repro_core.Experiment.to_string
+                Repro_core.Experiment.all));
         exit 1
     | Some id -> print_string (Repro_core.Report.run_to_string ~scale id)
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure")
-    Term.(const run $ scale_arg $ id_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ id_arg)
 
 let report_cmd =
-  let run scale =
+  let run scale jobs no_cache =
+    apply_engine_flags jobs no_cache;
     print_string (Repro_core.Report.run_all_to_string ~scale ())
   in
   Cmd.v (Cmd.info "report" ~doc:"Regenerate every table and figure")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg)
 
 let experiments_md_cmd =
-  let run scale =
+  let run scale jobs no_cache =
+    apply_engine_flags jobs no_cache;
     print_string (Repro_core.Report.experiments_markdown ~scale ())
   in
   Cmd.v
     (Cmd.info "experiments-md" ~doc:"Emit EXPERIMENTS.md body to stdout")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let clear =
+    let run () =
+      let n = Repro_core.Cache.entries () in
+      Repro_core.Experiment.clear_cache ~disk:true ();
+      Printf.printf "cleared %d cache entr%s under %s\n" n
+        (if n = 1 then "y" else "ies")
+        (Repro_core.Cache.dir ())
+    in
+    Cmd.v
+      (Cmd.info "clear"
+         ~doc:"Delete every persisted characterization and CMP measurement")
+      Term.(const run $ const ())
+  in
+  let info_cmd =
+    let run () =
+      Printf.printf "directory: %s\nenabled:   %b\nentries:   %d\n"
+        (Repro_core.Cache.dir ())
+        (Repro_core.Cache.enabled ())
+        (Repro_core.Cache.entries ())
+    in
+    Cmd.v (Cmd.info "info" ~doc:"Show cache location, state and entry count")
+      Term.(const run $ const ())
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Manage the persistent characterization cache (_cache/, or \
+          \\$(b,REPRO_CACHE_DIR))")
+    [ clear; info_cmd ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -230,7 +294,8 @@ let export_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
            ~doc:"Experiment ids (default: all)")
   in
-  let run scale dir ids =
+  let run scale jobs no_cache dir ids =
+    apply_engine_flags jobs no_cache;
     let ids =
       match ids with
       | [] -> Repro_core.Experiment.all
@@ -251,7 +316,7 @@ let export_cmd =
       ids
   in
   Cmd.v (Cmd.info "export" ~doc:"Write experiment results as CSV files")
-    Term.(const run $ scale_arg $ dir_arg $ ids_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ dir_arg $ ids_arg)
 
 let () =
   let doc =
@@ -264,4 +329,4 @@ let () =
        (Cmd.group info
           [ list_cmd; characterize_cmd; experiment_cmd; report_cmd;
             experiments_md_cmd; recommend_cmd; ablation_cmd; scaling_cmd;
-            export_cmd ]))
+            export_cmd; cache_cmd ]))

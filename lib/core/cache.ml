@@ -1,0 +1,128 @@
+let version = "1"
+
+let magic = "REPROCACHE1\n"
+let suffix = ".bin"
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "REPRO_CACHE" with
+    | Some ("0" | "no" | "off" | "false") -> false
+    | Some _ | None -> true)
+
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+let dir_ref =
+  ref (match Sys.getenv_opt "REPRO_CACHE_DIR" with
+      | Some d when d <> "" -> d
+      | Some _ | None -> "_cache")
+
+let dir () = !dir_ref
+let set_dir d = dir_ref := d
+
+type key = { file : string }
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '_')
+    name
+
+let key ~profile ~scale ~kind =
+  let fingerprint =
+    Printf.sprintf "v%s|%s|%h|%s" version
+      (Digest.to_hex (Digest.string (Repro_workload.Profile_io.to_string profile)))
+      scale kind
+  in
+  { file =
+      Printf.sprintf "%s-%s-%s%s" kind
+        (sanitize (profile : Repro_workload.Profile.t).name)
+        (Digest.to_hex (Digest.string fingerprint))
+        suffix }
+
+let path k = Filename.concat (dir ()) k.file
+
+(* Serialized entry: magic, hex digest of the payload, payload. The
+   digest turns truncation and bit-rot into clean misses. *)
+
+let encode v =
+  let payload = Marshal.to_string v [] in
+  magic ^ Digest.to_hex (Digest.string payload) ^ "\n" ^ payload
+
+let decode s =
+  let mlen = String.length magic in
+  (* 32 hex chars + '\n' after the magic. *)
+  if String.length s < mlen + 33 then None
+  else if not (String.equal (String.sub s 0 mlen) magic) then None
+  else if s.[mlen + 32] <> '\n' then None
+  else
+    let hex = String.sub s mlen 32 in
+    let payload = String.sub s (mlen + 33) (String.length s - mlen - 33) in
+    if not (String.equal hex (Digest.to_hex (Digest.string payload))) then None
+    else match Marshal.from_string payload 0 with
+      | v -> Some v
+      | exception _ -> None
+
+let find k =
+  if not (enabled ()) then None
+  else
+    match In_channel.with_open_bin (path k) In_channel.input_all with
+    | s -> decode s
+    | exception _ -> None
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let store k v =
+  if enabled () then
+    try
+      mkdir_p (dir ());
+      (* temp_file opens exclusively, so concurrent writers (other
+         domains or other processes) never interleave; the final
+         rename is atomic and last-writer-wins with equal bytes. *)
+      let tmp, oc =
+        Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:(dir ())
+          "tmp-cache" suffix
+      in
+      (try
+         Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+             output_string oc (encode v));
+         Sys.rename tmp (path k)
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e)
+    with _ -> ()
+
+let memoize k compute =
+  if not (enabled ()) then compute ()
+  else
+    match find k with
+    | Some v ->
+        Engine.note_cache_hit ();
+        v
+    | None ->
+        Engine.note_cache_miss ();
+        let v = compute () in
+        store k v;
+        v
+
+let cache_files () =
+  match Sys.readdir (dir ()) with
+  | files ->
+      List.filter (fun f -> Filename.check_suffix f suffix)
+        (Array.to_list files)
+  | exception Sys_error _ -> []
+
+let clear () =
+  List.iter
+    (fun f ->
+      try Sys.remove (Filename.concat (dir ()) f) with Sys_error _ -> ())
+    (cache_files ())
+
+let entries () = List.length (cache_files ())

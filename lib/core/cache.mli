@@ -1,0 +1,55 @@
+(** Persistent on-disk characterization cache.
+
+    Trace-derived measurements are pure functions of a benchmark's
+    profile, the instruction-budget scale, and the measurement code
+    itself, so they are cached across processes under [_cache/],
+    keyed by [(profile digest, scale, tool-set version)]. Entries are
+    written atomically (temp file + rename) and loads are
+    corruption-tolerant: a truncated, garbled, or stale-version file
+    is treated as a miss and recomputed, never as an error.
+
+    The cache is disabled by [REPRO_CACHE=0] (or [set_enabled false]);
+    [REPRO_CACHE_DIR] overrides the directory. Hits and misses are
+    counted in {!Engine.stats}. *)
+
+val version : string
+(** Tool-set version baked into every key. Bump it whenever the trace
+    generator or an analysis tool changes behaviour: old entries then
+    miss instead of serving stale measurements. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val dir : unit -> string
+val set_dir : string -> unit
+
+type key
+
+val key : profile:Repro_workload.Profile.t -> scale:float -> kind:string -> key
+(** [kind] names the value type stored under the key (e.g. ["charz"],
+    ["cmp"]); distinct kinds never collide. The profile is digested
+    through its full {!Repro_workload.Profile_io} text, so any
+    parameter change yields a fresh key. *)
+
+val path : key -> string
+(** Absolute or cwd-relative file the entry lives in. *)
+
+val find : key -> 'a option
+(** [None] on miss, disabled cache, or undecodable entry. The caller
+    must request the same type that was stored under this key's
+    [kind] — the payload is deserialized with [Marshal]. *)
+
+val store : key -> 'a -> unit
+(** Best-effort: I/O failures (read-only disk, etc.) are swallowed;
+    the result of the computation is never at risk. *)
+
+val memoize : key -> (unit -> 'a) -> 'a
+(** [find] or compute-and-[store], counting the hit or miss in
+    {!Engine.stats}. With the cache disabled the computation runs
+    directly and no counter moves. *)
+
+val clear : unit -> unit
+(** Delete every cache entry on disk (the directory itself stays). *)
+
+val entries : unit -> int
+(** Number of cache entries currently on disk. *)

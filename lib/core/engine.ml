@@ -1,0 +1,116 @@
+type stats = {
+  tasks_run : int;
+  batches : int;
+  max_domains : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let tasks_run = Atomic.make 0
+let batches = Atomic.make 0
+let max_domains = Atomic.make 1
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+
+let stats () =
+  { tasks_run = Atomic.get tasks_run;
+    batches = Atomic.get batches;
+    max_domains = Atomic.get max_domains;
+    cache_hits = Atomic.get cache_hits;
+    cache_misses = Atomic.get cache_misses }
+
+let reset_stats () =
+  Atomic.set tasks_run 0;
+  Atomic.set batches 0;
+  Atomic.set max_domains 1;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0
+
+let note_cache_hit () = Atomic.incr cache_hits
+let note_cache_miss () = Atomic.incr cache_misses
+
+let rec record_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then record_max cell v
+
+let clamp_jobs j = max 1 (min 64 j)
+
+let env_jobs () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (match int_of_string_opt s with
+               | Some j when j > 0 -> Some (clamp_jobs j)
+               | Some _ | None -> None)
+  | None -> None
+
+let default = ref None
+
+let default_jobs () =
+  match !default with
+  | Some j -> j
+  | None ->
+      (match env_jobs () with
+      | Some j -> j
+      | None -> clamp_jobs (Domain.recommended_domain_count ()))
+
+let set_default_jobs j = default := Some (clamp_jobs j)
+
+(* One slot per task; filled exactly once by whichever worker claims
+   the index, read only after every domain is joined. *)
+type 'b slot = Empty | Value of 'b | Raised of exn
+
+let run_pool ~jobs inputs =
+  let n = Array.length inputs in
+  let results = Array.make n Empty in
+  let next = Atomic.make 0 in
+  let failed = Atomic.make false in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n || Atomic.get failed then continue := false
+      else begin
+        (match inputs.(i) () with
+        | v ->
+            results.(i) <- Value v;
+            Atomic.incr tasks_run
+        | exception e ->
+            results.(i) <- Raised e;
+            Atomic.set failed true)
+      end
+    done
+  in
+  let spawned =
+    Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+  in
+  (* The calling domain is the pool's first worker. Joining may not
+     raise here: a worker's exceptions are all captured in its slots. *)
+  worker ();
+  Array.iter Domain.join spawned;
+  (* Indices are claimed in increasing order, so an ascending scan
+     meets the failure that triggered the shutdown before any slot
+     abandoned because of it. *)
+  for i = 0 to n - 1 do
+    match results.(i) with Raised e -> raise e | Value _ | Empty -> ()
+  done;
+  Array.map (function Value v -> v | Raised _ | Empty -> assert false) results
+
+let map ?jobs f items =
+  let jobs = clamp_jobs (match jobs with Some j -> j | None -> default_jobs ()) in
+  match items with
+  | [] -> []
+  | [ x ] ->
+      let v = f x in
+      Atomic.incr tasks_run;
+      [ v ]
+  | _ when jobs = 1 ->
+      List.map (fun x ->
+          let v = f x in
+          Atomic.incr tasks_run;
+          v)
+        items
+  | _ ->
+      let inputs = Array.of_list (List.map (fun x () -> f x) items) in
+      Atomic.incr batches;
+      record_max max_domains (min jobs (Array.length inputs));
+      let out = run_pool ~jobs inputs in
+      Array.to_list out

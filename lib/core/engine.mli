@@ -1,0 +1,46 @@
+(** Multicore experiment engine: a [Domain]-based pool that shards
+    independent per-benchmark tasks across cores.
+
+    Tasks must be self-contained (each benchmark's trace generator is
+    reseeded from its profile), so a parallel run produces results
+    bit-identical to a sequential one; the only shared state is the
+    engine's own statistics counters. The pool is created per [map]
+    call and always joined before returning — a raising task cannot
+    leak domains or deadlock the caller. *)
+
+type stats = {
+  tasks_run : int;  (** tasks executed by [map] since the last reset *)
+  batches : int;  (** [map] calls that actually spawned domains *)
+  max_domains : int;  (** largest pool size used so far *)
+  cache_hits : int;  (** persistent-cache lookups served from disk *)
+  cache_misses : int;  (** persistent-cache lookups that recomputed *)
+}
+
+val default_jobs : unit -> int
+(** Pool size used when [?jobs] is omitted: [REPRO_JOBS] if set to a
+    positive integer, otherwise {!Domain.recommended_domain_count},
+    clamped to [1..64]. *)
+
+val set_default_jobs : int -> unit
+(** Override {!default_jobs} for the rest of the process (clamped to
+    [1..64]); used by the [-j] flags of the CLI and bench harness. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] is [List.map f items] computed by up to [jobs]
+    domains (including the calling one). Order is preserved. With
+    [jobs <= 1] — or a list shorter than two elements — no domain is
+    spawned and the work runs inline.
+
+    If any task raises, every worker stops taking new tasks, all
+    domains are joined, and the first (lowest-index) exception is
+    re-raised in the caller. *)
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(**/**)
+
+val note_cache_hit : unit -> unit
+val note_cache_miss : unit -> unit
+(** Called by {!Cache}; exposed so the persistent cache and the pool
+    report through one counter block. *)

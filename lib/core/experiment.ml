@@ -61,7 +61,16 @@ let describe = function
   | Fig11 -> "Per-benchmark normalized CMP execution time"
 
 (* ------------------------------------------------------------------ *)
-(* Memoized measurements *)
+(* Memoized measurements.
+
+   Three layers: a process-local memo table (guarded by a mutex so
+   Engine workers can share it), the persistent Cache underneath it,
+   and the actual trace run. Concurrent workers may race to compute
+   the same key; the computation is deterministic, so the duplicate
+   work is wasted but the surviving entry is identical either way. *)
+
+let memo_lock = Mutex.create ()
+let locked f = Mutex.protect memo_lock f
 
 let characterizations : (string * float, A.Characterization.t) Hashtbl.t =
   Hashtbl.create 64
@@ -71,11 +80,14 @@ let scaled_insts (p : W.Profile.t) scale =
 
 let characterize scale (p : W.Profile.t) =
   let key = (p.name, scale) in
-  match Hashtbl.find_opt characterizations key with
+  match locked (fun () -> Hashtbl.find_opt characterizations key) with
   | Some c -> c
   | None ->
-      let c = A.Characterization.of_profile ~insts:(scaled_insts p scale) p in
-      Hashtbl.add characterizations key c;
+      let c =
+        Cache.memoize (Cache.key ~profile:p ~scale ~kind:"charz") (fun () ->
+            A.Characterization.of_profile ~insts:(scaled_insts p scale) p)
+      in
+      locked (fun () -> Hashtbl.replace characterizations key c);
       c
 
 let cmp_evals :
@@ -84,20 +96,24 @@ let cmp_evals :
 
 let evaluate_cmps scale (p : W.Profile.t) =
   let key = (p.name, scale) in
-  match Hashtbl.find_opt cmp_evals key with
+  match locked (fun () -> Hashtbl.find_opt cmp_evals key) with
   | Some e -> e
   | None ->
+      (* Only the eval list is persisted; the config tags are static
+         program values and are re-attached on the way out. *)
       let evals =
-        U.Cmp.evaluate_many ~insts:(scaled_insts p scale)
-          U.Cmp.standard_configs p
+        Cache.memoize (Cache.key ~profile:p ~scale ~kind:"cmp") (fun () ->
+            U.Cmp.evaluate_many ~insts:(scaled_insts p scale)
+              U.Cmp.standard_configs p)
       in
       let tagged = List.combine U.Cmp.standard_configs evals in
-      Hashtbl.add cmp_evals key tagged;
+      locked (fun () -> Hashtbl.replace cmp_evals key tagged);
       tagged
 
-let clear_cache () =
+let clear_cache ?(disk = false) () =
   Hashtbl.reset characterizations;
-  Hashtbl.reset cmp_evals
+  Hashtbl.reset cmp_evals;
+  if disk then Cache.clear ()
 
 (* ------------------------------------------------------------------ *)
 (* Helpers *)
@@ -330,10 +346,10 @@ let fig4 scale =
 (* ------------------------------------------------------------------ *)
 (* Fig 5 *)
 
-let fig5_suite_mpki scale suite =
+let fig5_suite_mpki ~jobs scale suite =
   let profiles = W.Suites.by_suite suite in
   let per_bench =
-    List.map
+    Engine.map ~jobs
       (fun (p : W.Profile.t) ->
         let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
         let sims =
@@ -355,7 +371,7 @@ let fig5_suite_mpki scale suite =
       (name, Repro_util.Stats.mean values))
     F.Zoo.all_names
 
-let fig5 scale =
+let fig5 ~jobs scale =
   let t =
     Table.create ~title:"Fig 5: branch MPKI per predictor configuration"
       ([ ("suite", Table.Left) ]
@@ -363,7 +379,7 @@ let fig5 scale =
   in
   List.iter
     (fun suite ->
-      let measured = fig5_suite_mpki scale suite in
+      let measured = fig5_suite_mpki ~jobs scale suite in
       Table.add_row t
         (Suite.to_string suite
         :: List.map (fun (_, v) -> f2 v) measured);
@@ -388,7 +404,7 @@ let fig5 scale =
 (* ------------------------------------------------------------------ *)
 (* Fig 6 *)
 
-let fig6 scale =
+let fig6 ~jobs scale =
   let configs =
     [ ("gshare-big", fun () -> F.Zoo.gshare_big ());
       ("gshare-small", fun () -> F.Zoo.gshare_small ());
@@ -406,21 +422,23 @@ let fig6 scale =
               (n ^ " tf", Table.Right) ])
           configs)
   in
-  List.iter
-    (fun name ->
-      let p = W.Suites.find name in
-      let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
-      let sims = List.map (fun (_, mk) -> A.Bp_sim.create (mk ())) configs in
-      A.Tool.run_all (W.Executor.trace ex) (List.map A.Bp_sim.observer sims);
-      Table.add_row t
-        (name
+  let rows =
+    Engine.map ~jobs
+      (fun name ->
+        let p = W.Suites.find name in
+        let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+        let sims = List.map (fun (_, mk) -> A.Bp_sim.create (mk ())) configs in
+        A.Tool.run_all (W.Executor.trace ex) (List.map A.Bp_sim.observer sims);
+        name
         :: List.concat_map
              (fun sim ->
                List.map
                  (fun cause -> f2 (A.Bp_sim.mpki_by_cause sim total cause))
                  A.Bp_sim.causes)
-             sims))
-    W.Suites.fig6_subset;
+             sims)
+      W.Suites.fig6_subset
+  in
+  List.iter (Table.add_row t) rows;
   [ t ]
 
 (* ------------------------------------------------------------------ *)
@@ -431,7 +449,7 @@ let btb_configs =
     (fun entries -> List.map (fun assoc -> (entries, assoc)) [ 2; 4; 8 ])
     [ 256; 512; 1024 ]
 
-let fig7 scale =
+let fig7 ~jobs scale =
   let t =
     Table.create ~title:"Fig 7: BTB MPKI (entries x associativity)"
       ([ ("suite", Table.Left) ]
@@ -443,7 +461,7 @@ let fig7 scale =
     (fun suite ->
       let profiles = W.Suites.by_suite suite in
       let per_bench =
-        List.map
+        Engine.map ~jobs
           (fun (p : W.Profile.t) ->
             let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
             let sims =
@@ -475,7 +493,7 @@ let fig7 scale =
 (* ------------------------------------------------------------------ *)
 (* Fig 8 / Fig 9 *)
 
-let icache_table ~title ~configs ~benchmarks scale per_suite =
+let icache_table ~jobs ~title ~configs ~benchmarks scale per_suite =
   let t =
     Table.create ~title
       ([ ((if per_suite then "suite" else "benchmark"), Table.Left) ]
@@ -498,7 +516,7 @@ let icache_table ~title ~configs ~benchmarks scale per_suite =
   if per_suite then
     List.iter
       (fun suite ->
-        let per_bench = List.map run_one (W.Suites.by_suite suite) in
+        let per_bench = Engine.map ~jobs run_one (W.Suites.by_suite suite) in
         Table.add_row t
           (Suite.to_string suite
           :: List.mapi
@@ -513,32 +531,37 @@ let icache_table ~title ~configs ~benchmarks scale per_suite =
                  f2 (Repro_util.Stats.mean values))
                configs))
       Suite.all
-  else
+  else begin
+    let per_bench =
+      Engine.map ~jobs
+        (fun name -> (name, run_one (W.Suites.find name)))
+        benchmarks
+    in
     List.iter
-      (fun name ->
-        let sims = run_one (W.Suites.find name) in
+      (fun (name, sims) ->
         Table.add_row t
           (name :: List.map (fun s -> f2 (A.Icache_sim.mpki s total)) sims))
-      benchmarks;
+      per_bench
+  end;
   t
 
-let fig8 scale =
+let fig8 ~jobs scale =
   let configs =
     List.concat_map
       (fun size -> List.map (fun a -> (size, 64, a)) [ 2; 4; 8 ])
       [ 8192; 16384; 32768 ]
   in
-  [ icache_table ~title:"Fig 8: I-cache MPKI (64B lines)" ~configs
+  [ icache_table ~jobs ~title:"Fig 8: I-cache MPKI (64B lines)" ~configs
       ~benchmarks:[] scale true ]
 
-let fig9 scale =
+let fig9 ~jobs scale =
   let configs =
     List.concat_map
       (fun line -> List.map (fun a -> (16384, line, a)) [ 2; 4; 8 ])
       [ 32; 64; 128 ]
   in
   let mpki_tbl =
-    icache_table ~title:"Fig 9: I-cache MPKI across line widths (16KB)"
+    icache_table ~jobs ~title:"Fig 9: I-cache MPKI across line widths (16KB)"
       ~configs ~benchmarks:W.Suites.fig9_subset scale false
   in
   (* Line usefulness, paper Section IV-C *)
@@ -550,16 +573,19 @@ let fig9 scale =
   List.iter
     (fun suite ->
       let values =
-        List.filter_map
-          (fun (p : W.Profile.t) ->
-            let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
-            let sim =
-              A.Icache_sim.create ~size_bytes:16384 ~line_bytes:128 ~assoc:8 ()
-            in
-            A.Tool.run_all (W.Executor.trace ex) [ A.Icache_sim.observer sim ];
-            let v = A.Icache_sim.usefulness sim in
-            if Float.is_nan v then None else Some v)
-          (W.Suites.by_suite suite)
+        List.filter_map Fun.id
+          (Engine.map ~jobs
+             (fun (p : W.Profile.t) ->
+               let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+               let sim =
+                 A.Icache_sim.create ~size_bytes:16384 ~line_bytes:128
+                   ~assoc:8 ()
+               in
+               A.Tool.run_all (W.Executor.trace ex)
+                 [ A.Icache_sim.observer sim ];
+               let v = A.Icache_sim.usefulness sim in
+               if Float.is_nan v then None else Some v)
+             (W.Suites.by_suite suite))
       in
       Table.add_row useful
         [ Suite.to_string suite;
@@ -744,18 +770,34 @@ let fig11 scale =
     W.Suites.fig11_subset;
   [ t ]
 
-let run ?(scale = 1.0) id =
+(* Parallel prefetch of the memoized quantities an experiment reads:
+   the table-building code afterwards only takes memo hits, so its
+   (deterministic) row order never depends on worker scheduling. *)
+let prefetch ~jobs scale id =
+  let charz profiles = ignore (Engine.map ~jobs (characterize scale) profiles) in
+  let cmps profiles = ignore (Engine.map ~jobs (evaluate_cmps scale) profiles) in
+  match id with
+  | Fig1 | Fig2 | Tab1 | Fig3 | Fig4 -> charz W.Suites.all
+  | Fig10 -> cmps W.Suites.all
+  | Fig11 -> cmps (List.map W.Suites.find W.Suites.fig11_subset)
+  | Fig5 | Fig6 | Fig7 | Fig8 | Fig9 | Tab2 | Tab3 -> ()
+
+let run ?(scale = 1.0) ?jobs id =
+  let jobs =
+    match jobs with Some j -> j | None -> Engine.default_jobs ()
+  in
+  prefetch ~jobs scale id;
   match id with
   | Fig1 -> fig1 scale
   | Fig2 -> fig2 scale
   | Tab1 -> tab1 scale
   | Fig3 -> fig3 scale
   | Fig4 -> fig4 scale
-  | Fig5 -> fig5 scale
-  | Fig6 -> fig6 scale
-  | Fig7 -> fig7 scale
-  | Fig8 -> fig8 scale
-  | Fig9 -> fig9 scale
+  | Fig5 -> fig5 ~jobs scale
+  | Fig6 -> fig6 ~jobs scale
+  | Fig7 -> fig7 ~jobs scale
+  | Fig8 -> fig8 ~jobs scale
+  | Fig9 -> fig9 ~jobs scale
   | Tab2 -> tab2 ()
   | Tab3 -> tab3 ()
   | Fig10 -> fig10 scale

@@ -4,9 +4,13 @@
     reference values.
 
     Traces are expensive, so characterizations and CMP measurements
-    are memoized per [(benchmark, scale)] within the process; a
-    harness that runs every experiment pays for each benchmark's
-    trace once per kind of measurement. *)
+    are memoized per [(benchmark, scale)] within the process and
+    persisted across processes by {!Cache}; a harness that runs every
+    experiment pays for each benchmark's trace once per kind of
+    measurement, ever. Per-benchmark trace runs are sharded across
+    cores by {!Engine}; each benchmark's generator is reseeded from
+    its profile, so parallel results are bit-identical to sequential
+    ones. *)
 
 type id =
   | Fig1  (** dynamic branch-instruction breakdown *)
@@ -33,10 +37,14 @@ val to_string : id -> string
 val of_string : string -> id option
 val describe : id -> string
 
-val run : ?scale:float -> id -> Repro_util.Table.t list
+val run : ?scale:float -> ?jobs:int -> id -> Repro_util.Table.t list
 (** Execute the experiment and render its tables. [scale] multiplies
     every benchmark's dynamic instruction budget (default 1.0; tests
-    use ~0.05 for speed, at some fidelity cost). *)
+    use ~0.05 for speed, at some fidelity cost). [jobs] bounds the
+    {!Engine} pool sharding per-benchmark work (default
+    {!Engine.default_jobs}; [1] forces a sequential run). The
+    rendered tables do not depend on [jobs]. *)
 
-val clear_cache : unit -> unit
-(** Drop memoized characterizations and measurements. *)
+val clear_cache : ?disk:bool -> unit -> unit
+(** Drop memoized characterizations and measurements; with
+    [~disk:true] also delete the persistent {!Cache} entries. *)

@@ -1,16 +1,16 @@
-let experiment_to_csv ?scale id =
+let experiment_to_csv ?scale ?jobs id =
   List.mapi
     (fun i table ->
       let name = Printf.sprintf "%s_%d.csv" (Experiment.to_string id) i in
       (name, Repro_util.Table.to_csv table))
-    (Experiment.run ?scale id)
+    (Experiment.run ?scale ?jobs id)
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Export: %s exists and is not a directory" dir)
 
-let write_experiment ?scale ~dir id =
+let write_experiment ?scale ?jobs ~dir id =
   ensure_dir dir;
   List.map
     (fun (name, csv) ->
@@ -19,7 +19,7 @@ let write_experiment ?scale ~dir id =
       Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
           output_string oc csv);
       path)
-    (experiment_to_csv ?scale id)
+    (experiment_to_csv ?scale ?jobs id)
 
-let write_all ?scale ~dir () =
-  List.concat_map (fun id -> write_experiment ?scale ~dir id) Experiment.all
+let write_all ?scale ?jobs ~dir () =
+  List.concat_map (fun id -> write_experiment ?scale ?jobs ~dir id) Experiment.all

@@ -1,14 +1,14 @@
 (** Result export: write experiment tables as CSV files so results can
     be plotted outside OCaml (gnuplot, matplotlib, spreadsheets). *)
 
-val experiment_to_csv : ?scale:float -> Experiment.id -> (string * string) list
+val experiment_to_csv : ?scale:float -> ?jobs:int -> Experiment.id -> (string * string) list
 (** [(filename, csv_content)] per table of the experiment; filenames
     are derived from the experiment id and table index, e.g.
     ["fig5_0.csv"]. *)
 
-val write_experiment : ?scale:float -> dir:string -> Experiment.id -> string list
+val write_experiment : ?scale:float -> ?jobs:int -> dir:string -> Experiment.id -> string list
 (** Run the experiment and write its CSVs under [dir] (created if
     missing); returns the paths written. *)
 
-val write_all : ?scale:float -> dir:string -> unit -> string list
+val write_all : ?scale:float -> ?jobs:int -> dir:string -> unit -> string list
 (** Every experiment. *)

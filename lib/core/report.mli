@@ -1,14 +1,17 @@
 (** Report generation: run experiments and render the results as
     plain text (for the bench harness) or as the EXPERIMENTS.md
-    paper-vs-measured record. *)
+    paper-vs-measured record.
 
-val run_to_string : ?scale:float -> Experiment.id -> string
+    All entry points accept the {!Experiment.run} [jobs] parameter;
+    the rendered text is identical for any pool size. *)
+
+val run_to_string : ?scale:float -> ?jobs:int -> Experiment.id -> string
 (** Header plus every table of one experiment. *)
 
-val run_all_to_string : ?scale:float -> unit -> string
+val run_all_to_string : ?scale:float -> ?jobs:int -> unit -> string
 (** Every experiment, in paper order. *)
 
-val experiments_markdown : ?scale:float -> unit -> string
+val experiments_markdown : ?scale:float -> ?jobs:int -> unit -> string
 (** The EXPERIMENTS.md body: for every table and figure, the
     reproduction status, the measured tables (fenced), and the key
     paper-vs-measured deltas. *)

@@ -14,6 +14,9 @@ let test_experiment_roundtrip () =
             (C.Experiment.to_string id')
       | None -> Alcotest.fail "of_string failed")
     C.Experiment.all;
+  let keys = List.map C.Experiment.to_string C.Experiment.all in
+  Alcotest.(check int) "ids are distinct" (List.length C.Experiment.all)
+    (List.length (List.sort_uniq compare keys));
   Alcotest.(check (option string)) "unknown id" None
     (Option.map C.Experiment.to_string (C.Experiment.of_string "fig99"))
 
@@ -166,6 +169,103 @@ let test_thread_scaling_sweep () =
     (last.C.Thread_scaling.tailored_vs_baseline
     > last.C.Thread_scaling.asymmetric_vs_baseline +. 0.005)
 
+(* ------------------------------------------------------------------ *)
+(* Persistent cache: round-trips, corruption tolerance, key
+   sensitivity, disk clearing. *)
+
+let with_test_cache f =
+  let dir = "core_cache_dir" in
+  C.Cache.set_dir dir;
+  C.Cache.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      C.Cache.clear ();
+      C.Cache.set_enabled false;
+      (try Sys.rmdir dir with Sys_error _ -> ()))
+    (fun () -> f ())
+
+let test_cache_roundtrip () =
+  with_test_cache (fun () ->
+      let p = W.Suites.find "FT" in
+      let k = C.Cache.key ~profile:p ~scale:0.25 ~kind:"test" in
+      Alcotest.(check bool) "miss before store" true
+        ((C.Cache.find k : float list option) = None);
+      C.Cache.store k [ 1.5; 2.25; -3.0 ];
+      Alcotest.(check (option (list (float 0.0)))) "hit after store"
+        (Some [ 1.5; 2.25; -3.0 ])
+        (C.Cache.find k);
+      (* Same profile and kind at another scale is a different key. *)
+      let k' = C.Cache.key ~profile:p ~scale:0.5 ~kind:"test" in
+      Alcotest.(check bool) "scale change misses" true
+        ((C.Cache.find k' : float list option) = None);
+      (* Another profile at the same scale is a different key too. *)
+      let other =
+        C.Cache.key ~profile:(W.Suites.find "swim") ~scale:0.25 ~kind:"test"
+      in
+      Alcotest.(check bool) "distinct files per profile" true
+        (C.Cache.path other <> C.Cache.path k))
+
+let corrupt path f =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (f s))
+
+let test_cache_corruption_tolerated () =
+  with_test_cache (fun () ->
+      let p = W.Suites.find "FT" in
+      let k = C.Cache.key ~profile:p ~scale:0.25 ~kind:"test" in
+      let stored = [ 42.0 ] in
+      (* Truncated entry: silent miss, then recompute via memoize. *)
+      C.Cache.store k stored;
+      corrupt (C.Cache.path k) (fun s ->
+          String.sub s 0 (String.length s / 2));
+      Alcotest.(check bool) "truncated file misses" true
+        ((C.Cache.find k : float list option) = None);
+      Alcotest.(check (list (float 0.0))) "memoize recomputes" stored
+        (C.Cache.memoize k (fun () -> stored));
+      Alcotest.(check (option (list (float 0.0)))) "and re-stores"
+        (Some stored) (C.Cache.find k);
+      (* Garbage entry. *)
+      corrupt (C.Cache.path k) (fun _ -> "not a cache entry at all");
+      Alcotest.(check bool) "garbage file misses" true
+        ((C.Cache.find k : float list option) = None);
+      (* Flipped payload byte: the digest catches it. *)
+      C.Cache.store k stored;
+      corrupt (C.Cache.path k) (fun s ->
+          let b = Bytes.of_string s in
+          let i = Bytes.length b - 1 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+          Bytes.to_string b);
+      Alcotest.(check bool) "bit-rot misses" true
+        ((C.Cache.find k : float list option) = None))
+
+let test_cache_clear_disk () =
+  with_test_cache (fun () ->
+      let p = W.Suites.find "FT" in
+      C.Cache.store (C.Cache.key ~profile:p ~scale:0.25 ~kind:"test") [ 1.0 ];
+      C.Cache.store (C.Cache.key ~profile:p ~scale:0.5 ~kind:"test") [ 2.0 ];
+      Alcotest.(check int) "two entries on disk" 2 (C.Cache.entries ());
+      (* Without ~disk the persistent entries survive. *)
+      C.Experiment.clear_cache ();
+      Alcotest.(check int) "memory-only clear keeps disk" 2
+        (C.Cache.entries ());
+      C.Experiment.clear_cache ~disk:true ();
+      Alcotest.(check int) "disk clear empties the directory" 0
+        (C.Cache.entries ()))
+
+let test_cache_disabled_bypasses () =
+  with_test_cache (fun () ->
+      C.Cache.set_enabled false;
+      let k =
+        C.Cache.key ~profile:(W.Suites.find "FT") ~scale:0.25 ~kind:"test"
+      in
+      C.Cache.store k [ 9.0 ];
+      Alcotest.(check int) "no file written" 0 (C.Cache.entries ());
+      Alcotest.(check bool) "find misses" true
+        ((C.Cache.find k : float list option) = None);
+      Alcotest.(check (list (float 0.0))) "memoize computes directly" [ 7.0 ]
+        (C.Cache.memoize k (fun () -> [ 7.0 ])))
+
 let () =
   Alcotest.run "core"
     [ ("experiment",
@@ -183,6 +283,13 @@ let () =
       ("thread scaling",
        [ Alcotest.test_case "serial share model" `Quick test_thread_scaling_share;
          Alcotest.test_case "sweep" `Quick test_thread_scaling_sweep ]);
+      ("cache",
+       [ Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+         Alcotest.test_case "corruption tolerated" `Quick
+           test_cache_corruption_tolerated;
+         Alcotest.test_case "clear disk" `Quick test_cache_clear_disk;
+         Alcotest.test_case "disabled bypasses" `Quick
+           test_cache_disabled_bypasses ]);
       ("rebalance",
        [ Alcotest.test_case "estimate" `Quick test_rebalance_estimate;
          Alcotest.test_case "recommends small for HPC" `Slow
