@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke bench clean cache-clear
+.PHONY: all build test smoke bench bench-json clean cache-clear
 
 all: build
 
@@ -16,7 +16,7 @@ test: build
 # Fast end-to-end check: full test suite, then a parallel fig1
 # regeneration twice over a fresh cache — the second run must be
 # served entirely from disk (see the engine-stats footer).
-smoke: test
+smoke: test bench-json
 	rm -rf _smoke_cache
 	REPRO_SCALE=0.05 REPRO_CACHE_DIR=_smoke_cache \
 	  $(DUNE) exec bench/main.exe -- fig1 -j 4
@@ -26,6 +26,15 @@ smoke: test
 
 bench: build
 	$(DUNE) exec bench/main.exe
+
+# Emit the machine-readable bench report at a small scale, then
+# re-parse and type-check it; a missing or malformed file fails.
+bench-json: build
+	rm -f BENCH_results.json
+	REPRO_SCALE=0.05 REPRO_CACHE=0 \
+	  $(DUNE) exec bench/main.exe -- fig1 --json BENCH_results.json
+	test -s BENCH_results.json
+	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
 
 clean:
 	$(DUNE) clean

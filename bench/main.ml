@@ -11,11 +11,23 @@
                                               cores; results identical)
      dune exec bench/main.exe -- --no-cache   ignore the persistent
                                               _cache/ directory
-     REPRO_SCALE=0.2 dune exec bench/main.exe faster, noisier runs *)
+     dune exec bench/main.exe -- fig8 --json BENCH_results.json
+                                              also write per-experiment
+                                              wall time, instr/s, cache
+                                              hit rate and parallel
+                                              speedup as JSON
+     dune exec bench/main.exe -- --check-json BENCH_results.json
+                                              validate an emitted file
+                                              (exit 1 when malformed)
+     REPRO_SCALE=0.2 dune exec bench/main.exe faster, noisier runs
+     REPRO_TRACE=1   dune exec bench/main.exe print the telemetry span
+                                              tree to stderr on exit *)
 
 module W = Repro_workload
 module A = Repro_analysis
 module F = Repro_frontend
+module T = Repro_util.Telemetry
+module J = Repro_util.Json
 
 let scale =
   match Sys.getenv_opt "REPRO_SCALE" with
@@ -25,14 +37,149 @@ let scale =
 (* ------------------------------------------------------------------ *)
 (* Experiment regeneration: one section per paper table/figure. *)
 
-let run_experiment ~jobs id =
-  let t0 = Unix.gettimeofday () in
+type measurement = {
+  m_id : string;
+  m_wall_ms : float;
+  m_sim_insts : int;
+  m_hits : int;
+  m_misses : int;
+  m_seq_ms : float option; (* uncached -j1 probe, jobs > 1 only *)
+  m_par_ms : float option; (* uncached -jN probe, jobs > 1 only *)
+}
+
+let ms_since t0 = Int64.to_float (Int64.sub (T.now_ns ()) t0) /. 1e6
+
+(* Both probe runs recompute everything (memo cleared, disk cache off)
+   so the speedup compares computation against computation — a warm
+   disk cache would otherwise make the -j1 side look supernaturally
+   fast. *)
+let speedup_probe ~jobs id =
+  if jobs <= 1 then (None, None)
+  else begin
+    let was = Repro_core.Cache.enabled () in
+    Repro_core.Cache.set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Repro_core.Cache.set_enabled was)
+      (fun () ->
+        let timed j =
+          Repro_core.Experiment.clear_cache ();
+          let t0 = T.now_ns () in
+          ignore (Repro_core.Report.run_to_string ~scale ~jobs:j id);
+          ms_since t0
+        in
+        let par = timed jobs in
+        let seq = timed 1 in
+        (Some seq, Some par))
+  end
+
+let run_experiment ~jobs ~measure id =
+  let stats0 = Repro_core.Engine.stats () in
+  let insts0 = T.counter "experiment.sim_insts" in
+  let t0 = T.now_ns () in
   print_string (Repro_core.Report.run_to_string ~scale ~jobs id);
+  let wall_ms = ms_since t0 in
   Printf.printf "(%s regenerated in %.1fs at scale %g, %d job%s)\n\n"
     (Repro_core.Experiment.to_string id)
-    (Unix.gettimeofday () -. t0)
-    scale jobs
-    (if jobs = 1 then "" else "s")
+    (wall_ms /. 1000.0) scale jobs
+    (if jobs = 1 then "" else "s");
+  if not measure then None
+  else begin
+    (* Deltas captured before the speedup probe, which simulates more
+       instructions and takes more cache misses of its own. *)
+    let sim_insts = T.counter "experiment.sim_insts" - insts0 in
+    let stats1 = Repro_core.Engine.stats () in
+    let seq_ms, par_ms = speedup_probe ~jobs id in
+    Some
+      { m_id = Repro_core.Experiment.to_string id;
+        m_wall_ms = wall_ms;
+        m_sim_insts = sim_insts;
+        m_hits = stats1.cache_hits - stats0.cache_hits;
+        m_misses = stats1.cache_misses - stats0.cache_misses;
+        m_seq_ms = seq_ms;
+        m_par_ms = par_ms }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json: the machine-readable perf trajectory. *)
+
+let measurement_json ~jobs m =
+  let opt = function Some v -> J.Num v | None -> J.Null in
+  let lookups = m.m_hits + m.m_misses in
+  J.Obj
+    [ ("id", J.Str m.m_id);
+      ("wall_ms", J.Num m.m_wall_ms);
+      ("sim_insts", J.Num (float_of_int m.m_sim_insts));
+      ( "instr_per_s",
+        J.Num
+          (if m.m_wall_ms > 0.0 then
+             float_of_int m.m_sim_insts /. (m.m_wall_ms /. 1000.0)
+           else 0.0) );
+      ("jobs", J.Num (float_of_int jobs));
+      ("cache_hits", J.Num (float_of_int m.m_hits));
+      ("cache_misses", J.Num (float_of_int m.m_misses));
+      ( "cache_hit_rate",
+        J.Num
+          (if lookups > 0 then float_of_int m.m_hits /. float_of_int lookups
+           else 0.0) );
+      ("seq_ms", opt m.m_seq_ms);
+      ("par_ms", opt m.m_par_ms);
+      ( "speedup_vs_j1",
+        match (m.m_seq_ms, m.m_par_ms) with
+        | Some s, Some p when p > 0.0 -> J.Num (s /. p)
+        | _ -> J.Null ) ]
+
+let emit_json ~jobs path rows =
+  let doc =
+    J.Obj
+      [ ("schema_version", J.Num 1.0);
+        ("scale", J.Num scale);
+        ("jobs", J.Num (float_of_int jobs));
+        ("experiments", J.Arr (List.map (measurement_json ~jobs) rows)) ]
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (J.to_string doc));
+  Printf.printf "wrote %s (%d experiment%s)\n\n" path (List.length rows)
+    (if List.length rows = 1 then "" else "s")
+
+(* Validator behind `--check-json`: the Makefile's bench-json target
+   (and therefore `make smoke`) fails when the emitter regresses. *)
+let check_json path =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit 1)
+      fmt
+  in
+  let contents =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> s
+    | exception Sys_error e -> fail "cannot read: %s" e
+  in
+  match J.of_string contents with
+  | Error e -> fail "malformed JSON (%s)" e
+  | Ok doc -> (
+      let num row name =
+        match J.member name row with
+        | Some (J.Num _) -> ()
+        | Some _ -> fail "field %S is not a number" name
+        | None -> fail "field %S missing" name
+      in
+      match J.member "experiments" doc with
+      | Some (J.Arr rows) ->
+          List.iter
+            (fun row ->
+              (match J.member "id" row with
+              | Some (J.Str _) -> ()
+              | _ -> fail "experiment entry without a string \"id\"");
+              List.iter (num row)
+                [ "wall_ms"; "sim_insts"; "instr_per_s"; "jobs";
+                  "cache_hits"; "cache_misses"; "cache_hit_rate" ])
+            rows;
+          Printf.printf "%s: ok (%d experiment%s)\n" path (List.length rows)
+            (if List.length rows = 1 then "" else "s")
+      | Some _ -> fail "\"experiments\" is not an array"
+      | None -> fail "top-level \"experiments\" array missing")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator substrate: one group per
@@ -164,11 +311,14 @@ let valid_ids () =
   String.concat " "
     (List.map Repro_core.Experiment.to_string Repro_core.Experiment.all)
 
-(* Strip [-j N] / [--jobs N] and [--no-cache] out of the argument
-   list, returning (jobs, remaining args). *)
+(* Strip [-j N] / [--jobs N], [--no-cache], [--json FILE] and
+   [--check-json FILE] out of the argument list, returning
+   (jobs, json output file, file to validate, remaining args). *)
 let parse_flags args =
+  let json = ref None in
+  let check = ref None in
   let rec go jobs acc = function
-    | [] -> (jobs, List.rev acc)
+    | [] -> (jobs, !json, !check, List.rev acc)
     | ("-j" | "--jobs") :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j > 0 -> go j acc rest
@@ -181,12 +331,34 @@ let parse_flags args =
     | "--no-cache" :: rest ->
         Repro_core.Cache.set_enabled false;
         go jobs acc rest
+    | "--json" :: file :: rest when file <> "" ->
+        json := Some file;
+        go jobs acc rest
+    | [ "--json" ] ->
+        Printf.eprintf "missing output file after --json\n";
+        exit 2
+    | "--check-json" :: file :: rest when file <> "" ->
+        check := Some file;
+        go jobs acc rest
+    | [ "--check-json" ] ->
+        Printf.eprintf "missing input file after --check-json\n";
+        exit 2
     | a :: rest -> go jobs (a :: acc) rest
   in
   go (Repro_core.Engine.default_jobs ()) [] args
 
 let () =
-  let jobs, args = parse_flags (List.tl (Array.to_list Sys.argv)) in
+  let jobs, json_out, check, args =
+    parse_flags (List.tl (Array.to_list Sys.argv))
+  in
+  (match check with
+  | Some path ->
+      check_json path;
+      exit 0
+  | None -> ());
+  (* The JSON emitter needs the sim-insts counter, so recording is
+     switched on; the span tree is only printed under REPRO_TRACE. *)
+  if json_out <> None then T.set_enabled true;
   let extras = [ "micro"; "ablation"; "scaling"; "extension" ] in
   let wants x = args = [] || List.mem x args in
   let wants_micro = wants "micro" in
@@ -209,7 +381,8 @@ let () =
   Printf.printf
     "frontend-repro benchmark harness — scale %g (set REPRO_SCALE to change)\n\n"
     scale;
-  List.iter (run_experiment ~jobs) ids;
+  let measure = json_out <> None in
+  let rows = List.filter_map (run_experiment ~jobs ~measure) ids in
   if ids <> [] then begin
     let s = Repro_core.Engine.stats () in
     Printf.printf
@@ -218,7 +391,11 @@ let () =
       s.tasks_run s.max_domains s.cache_hits s.cache_misses
       (if Repro_core.Cache.enabled () then "" else " [disabled]")
   end;
+  (match json_out with
+  | Some path -> emit_json ~jobs path rows
+  | None -> ());
   if wants "ablation" then ablation ();
   if wants "scaling" then thread_scaling ();
   if wants "extension" then extension_study ();
-  if wants_micro then microbenchmarks ()
+  if wants_micro then microbenchmarks ();
+  if T.env_trace then prerr_string (T.report ())

@@ -36,7 +36,16 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
-let apply_engine_flags jobs no_cache =
+let trace_arg =
+  let doc =
+    "Record telemetry and print the hierarchical span tree (with \
+     per-span total/self times), counters and gauges to stderr on \
+     exit (also \\$(b,REPRO_TRACE=1)). Results are unaffected."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let apply_engine_flags trace jobs no_cache =
+  if trace then Repro_util.Telemetry.set_enabled true;
   if no_cache then Repro_core.Cache.set_enabled false;
   match jobs with
   | Some j when j > 0 -> Repro_core.Engine.set_default_jobs j
@@ -135,8 +144,8 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
            ~doc:"Experiment id, e.g. fig5 or tab3")
   in
-  let run scale jobs no_cache id =
-    apply_engine_flags jobs no_cache;
+  let run scale trace jobs no_cache id =
+    apply_engine_flags trace jobs no_cache;
     match Repro_core.Experiment.of_string id with
     | None ->
         Printf.eprintf "unknown experiment %s; valid ids: %s\n" id
@@ -147,24 +156,24 @@ let experiment_cmd =
     | Some id -> print_string (Repro_core.Report.run_to_string ~scale id)
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure")
-    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ id_arg)
+    Term.(const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg $ id_arg)
 
 let report_cmd =
-  let run scale jobs no_cache =
-    apply_engine_flags jobs no_cache;
+  let run scale trace jobs no_cache =
+    apply_engine_flags trace jobs no_cache;
     print_string (Repro_core.Report.run_all_to_string ~scale ())
   in
   Cmd.v (Cmd.info "report" ~doc:"Regenerate every table and figure")
-    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg)
 
 let experiments_md_cmd =
-  let run scale jobs no_cache =
-    apply_engine_flags jobs no_cache;
+  let run scale trace jobs no_cache =
+    apply_engine_flags trace jobs no_cache;
     print_string (Repro_core.Report.experiments_markdown ~scale ())
   in
   Cmd.v
     (Cmd.info "experiments-md" ~doc:"Emit EXPERIMENTS.md body to stdout")
-    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -294,8 +303,8 @@ let export_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
            ~doc:"Experiment ids (default: all)")
   in
-  let run scale jobs no_cache dir ids =
-    apply_engine_flags jobs no_cache;
+  let run scale trace jobs no_cache dir ids =
+    apply_engine_flags trace jobs no_cache;
     let ids =
       match ids with
       | [] -> Repro_core.Experiment.all
@@ -316,13 +325,21 @@ let export_cmd =
       ids
   in
   Cmd.v (Cmd.info "export" ~doc:"Write experiment results as CSV files")
-    Term.(const run $ scale_arg $ jobs_arg $ no_cache_arg $ dir_arg $ ids_arg)
+    Term.(
+      const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg $ dir_arg
+      $ ids_arg)
 
 let () =
   let doc =
     "Reproduction of 'Rebalancing the Core Front-End through HPC Code \
      Analysis' (IISWC 2016)"
   in
+  (* Print the span tree after the chosen subcommand ran, whether
+     telemetry came from --trace or from REPRO_TRACE=1 in the
+     environment. Recording without either leaves this silent. *)
+  at_exit (fun () ->
+      if Repro_util.Telemetry.enabled () then
+        prerr_string (Repro_util.Telemetry.report ()));
   let info = Cmd.info "frontend-repro" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval

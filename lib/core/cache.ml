@@ -1,7 +1,15 @@
+module Telemetry = Repro_util.Telemetry
+
 let version = "1"
 
 let magic = "REPROCACHE1\n"
 let suffix = ".bin"
+
+(* In-flight temp files carry a suffix that [cache_files] can never
+   match: with the old ".bin" suffix, [entries ()] over-counted and a
+   concurrent [clear ()] could delete a temp file out from under the
+   [store] about to rename it, silently losing the entry. *)
+let tmp_suffix = ".tmp"
 
 let enabled_ref =
   ref
@@ -63,14 +71,25 @@ let decode s =
     if not (String.equal hex (Digest.to_hex (Digest.string payload))) then None
     else match Marshal.from_string payload 0 with
       | v -> Some v
-      | exception _ -> None
+      | exception Failure _ ->
+          (* Marshal rejects truncated or corrupt payloads with
+             Failure; anything else (Out_of_memory, ...) is a real
+             runtime fault and must not masquerade as a miss. *)
+          None
 
 let find k =
   if not (enabled ()) then None
   else
-    match In_channel.with_open_bin (path k) In_channel.input_all with
-    | s -> decode s
-    | exception _ -> None
+    Telemetry.with_span "cache.find" (fun () ->
+        match In_channel.with_open_bin (path k) In_channel.input_all with
+        | s ->
+            Telemetry.add "cache.read_bytes" (String.length s);
+            decode s
+        | exception Sys_error _ ->
+            (* Missing or unreadable file is an ordinary miss. Fatal
+               runtime exceptions (Out_of_memory, Stack_overflow) are
+               deliberately not caught. *)
+            None)
 
 let rec mkdir_p d =
   if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
@@ -81,23 +100,33 @@ let rec mkdir_p d =
 
 let store k v =
   if enabled () then
-    try
-      mkdir_p (dir ());
-      (* temp_file opens exclusively, so concurrent writers (other
-         domains or other processes) never interleave; the final
-         rename is atomic and last-writer-wins with equal bytes. *)
-      let tmp, oc =
-        Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:(dir ())
-          "tmp-cache" suffix
-      in
-      (try
-         Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-             output_string oc (encode v));
-         Sys.rename tmp (path k)
-       with e ->
-         (try Sys.remove tmp with Sys_error _ -> ());
-         raise e)
-    with _ -> ()
+    Telemetry.with_span "cache.store" (fun () ->
+        (* Only Sys_error (read-only disk, missing directory, rename
+           races) is best-effort-swallowed; everything else — fatal
+           runtime exceptions, Marshal refusing the value — reaches
+           the caller. *)
+        try
+          mkdir_p (dir ());
+          (* temp_file opens exclusively, so concurrent writers (other
+             domains or other processes) never interleave; the final
+             rename is atomic and last-writer-wins with equal bytes.
+             The .tmp suffix keeps the in-flight file invisible to
+             [cache_files], so a concurrent [clear] cannot delete it
+             before the rename. *)
+          let tmp, oc =
+            Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:(dir ())
+              "tmp-cache" tmp_suffix
+          in
+          (try
+             let encoded = encode v in
+             Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+                 output_string oc encoded);
+             Telemetry.add "cache.write_bytes" (String.length encoded);
+             Sys.rename tmp (path k)
+           with e ->
+             (try Sys.remove tmp with Sys_error _ -> ());
+             raise e)
+        with Sys_error _ -> ())
 
 let memoize k compute =
   if not (enabled ()) then compute ()
@@ -105,13 +134,17 @@ let memoize k compute =
     match find k with
     | Some v ->
         Engine.note_cache_hit ();
+        Telemetry.incr "cache.hits";
         v
     | None ->
         Engine.note_cache_miss ();
+        Telemetry.incr "cache.misses";
         let v = compute () in
         store k v;
         v
 
+(* Only finished entries (".bin"): in-flight ".tmp" files are never
+   listed, counted or cleared. *)
 let cache_files () =
   match Sys.readdir (dir ()) with
   | files ->

@@ -8,9 +8,17 @@
     corruption-tolerant: a truncated, garbled, or stale-version file
     is treated as a miss and recomputed, never as an error.
 
+    Writes go through an exclusive temp file with a distinct [.tmp]
+    suffix followed by an atomic rename, so a concurrent {!clear}
+    (which only touches finished [.bin] entries) can never delete an
+    in-flight write, and {!entries} never counts one.
+
     The cache is disabled by [REPRO_CACHE=0] (or [set_enabled false]);
     [REPRO_CACHE_DIR] overrides the directory. Hits and misses are
-    counted in {!Engine.stats}. *)
+    counted in {!Engine.stats}; when {!Repro_util.Telemetry} is
+    enabled, [cache.find]/[cache.store] spans record lookup and write
+    latency and [cache.read_bytes]/[cache.write_bytes]/[cache.hits]/
+    [cache.misses] counters record traffic. *)
 
 val version : string
 (** Tool-set version baked into every key. Bump it whenever the trace
@@ -37,11 +45,16 @@ val path : key -> string
 val find : key -> 'a option
 (** [None] on miss, disabled cache, or undecodable entry. The caller
     must request the same type that was stored under this key's
-    [kind] — the payload is deserialized with [Marshal]. *)
+    [kind] — the payload is deserialized with [Marshal]. Only
+    I/O failures ([Sys_error]) and corrupt payloads read as misses;
+    fatal runtime exceptions ([Out_of_memory], [Stack_overflow])
+    propagate. *)
 
 val store : key -> 'a -> unit
-(** Best-effort: I/O failures (read-only disk, etc.) are swallowed;
-    the result of the computation is never at risk. *)
+(** Best-effort for I/O only: [Sys_error] (read-only disk, etc.) is
+    swallowed — the result of the computation is never at risk.
+    Fatal runtime exceptions and [Marshal] rejecting the value (e.g.
+    a closure) propagate. *)
 
 val memoize : key -> (unit -> 'a) -> 'a
 (** [find] or compute-and-[store], counting the hit or miss in
@@ -49,7 +62,10 @@ val memoize : key -> (unit -> 'a) -> 'a
     directly and no counter moves. *)
 
 val clear : unit -> unit
-(** Delete every cache entry on disk (the directory itself stays). *)
+(** Delete every finished cache entry on disk (the directory itself
+    stays). In-flight [.tmp] files of concurrent writers are left
+    alone; their renames land after the clear. *)
 
 val entries : unit -> int
-(** Number of cache entries currently on disk. *)
+(** Number of finished cache entries currently on disk; in-flight
+    temp files are not counted. *)

@@ -33,13 +33,32 @@ let rec record_max cell v =
   let cur = Atomic.get cell in
   if v > cur && not (Atomic.compare_and_set cell cur v) then record_max cell v
 
+(* Pool sizes are clamped to 1..64: above ~64 domains the OCaml 5
+   runtime's stop-the-world pauses dominate and the per-benchmark
+   task count never exceeds the suite size anyway. Documented in the
+   mli and README. *)
 let clamp_jobs j = max 1 (min 64 j)
+
+let warned_env_jobs = ref false
 
 let env_jobs () =
   match Sys.getenv_opt "REPRO_JOBS" with
-  | Some s -> (match int_of_string_opt s with
-               | Some j when j > 0 -> Some (clamp_jobs j)
-               | Some _ | None -> None)
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j > 0 -> Some (clamp_jobs j)
+      | Some _ | None ->
+          (* Malformed or non-positive values used to be silently
+             ignored; warn once so a typo'd REPRO_JOBS=O8 is not an
+             invisible serial run. *)
+          if not !warned_env_jobs then begin
+            warned_env_jobs := true;
+            Printf.eprintf
+              "frontend-repro: ignoring invalid REPRO_JOBS=%S (want a \
+               positive integer; values above 64 are clamped); using the \
+               default domain count\n%!"
+              s
+          end;
+          None)
   | None -> None
 
 let default = ref None
@@ -53,6 +72,8 @@ let default_jobs () =
       | None -> clamp_jobs (Domain.recommended_domain_count ()))
 
 let set_default_jobs j = default := Some (clamp_jobs j)
+
+module Telemetry = Repro_util.Telemetry
 
 (* One slot per task; filled exactly once by whichever worker claims
    the index, read only after every domain is joined. *)
@@ -79,13 +100,23 @@ let run_pool ~jobs inputs =
       end
     done
   in
+  let spawned_n = min jobs n - 1 in
+  (* Each spawned domain records telemetry into its own per-domain
+     buffer (no locks on the hot path) and parks the buffer in its
+     slot as its last act; the joiner absorbs the buffers below,
+     after every domain is joined. *)
+  let tele = Array.make (max spawned_n 0) Telemetry.empty_buffer in
   let spawned =
-    Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    Array.init spawned_n (fun k ->
+        Domain.spawn (fun () ->
+            worker ();
+            if Telemetry.enabled () then tele.(k) <- Telemetry.export ()))
   in
   (* The calling domain is the pool's first worker. Joining may not
      raise here: a worker's exceptions are all captured in its slots. *)
   worker ();
   Array.iter Domain.join spawned;
+  if Telemetry.enabled () then Array.iter Telemetry.absorb tele;
   (* Indices are claimed in increasing order, so an ascending scan
      meets the failure that triggered the shutdown before any slot
      abandoned because of it. *)
@@ -94,23 +125,56 @@ let run_pool ~jobs inputs =
   done;
   Array.map (function Value v -> v | Raised _ | Empty -> assert false) results
 
+(* Per-task instrumentation: an [engine.task] span (nested under the
+   caller's open span, or the batch span via buffer absorption) plus
+   a busy-time counter that feeds the utilization gauge. Pure
+   pass-through when telemetry is disabled. *)
+let timed_task f x =
+  if not (Telemetry.enabled ()) then f x
+  else
+    Telemetry.with_span "engine.task" (fun () ->
+        let t0 = Telemetry.now_ns () in
+        Fun.protect
+          ~finally:(fun () ->
+            Telemetry.add "engine.busy_ns"
+              (Int64.to_int (Int64.sub (Telemetry.now_ns ()) t0)))
+          (fun () -> f x))
+
 let map ?jobs f items =
   let jobs = clamp_jobs (match jobs with Some j -> j | None -> default_jobs ()) in
   match items with
   | [] -> []
   | [ x ] ->
-      let v = f x in
+      let v = timed_task f x in
       Atomic.incr tasks_run;
       [ v ]
   | _ when jobs = 1 ->
       List.map (fun x ->
-          let v = f x in
+          let v = timed_task f x in
           Atomic.incr tasks_run;
           v)
         items
   | _ ->
-      let inputs = Array.of_list (List.map (fun x () -> f x) items) in
+      let inputs = Array.of_list (List.map (fun x () -> timed_task f x) items) in
       Atomic.incr batches;
-      record_max max_domains (min jobs (Array.length inputs));
-      let out = run_pool ~jobs inputs in
-      Array.to_list out
+      let domains = min jobs (Array.length inputs) in
+      record_max max_domains domains;
+      if not (Telemetry.enabled ()) then
+        Array.to_list (run_pool ~jobs inputs)
+      else
+        Telemetry.with_span "engine.batch" (fun () ->
+            let busy0 = Telemetry.counter "engine.busy_ns" in
+            let t0 = Telemetry.now_ns () in
+            let out = run_pool ~jobs inputs in
+            (* Utilization = busy-time / (elapsed x domains): 1.0 means
+               every domain computed for the whole batch. *)
+            let elapsed =
+              Int64.to_float (Int64.sub (Telemetry.now_ns ()) t0)
+            in
+            let busy =
+              float_of_int (Telemetry.counter "engine.busy_ns" - busy0)
+            in
+            if elapsed > 0.0 then
+              Telemetry.set_gauge "engine.utilization"
+                (busy /. (elapsed *. float_of_int domains));
+            Array.to_list out)

@@ -6,7 +6,15 @@
     bit-identical to a sequential one; the only shared state is the
     engine's own statistics counters. The pool is created per [map]
     call and always joined before returning — a raising task cannot
-    leak domains or deadlock the caller. *)
+    leak domains or deadlock the caller.
+
+    When {!Repro_util.Telemetry} is enabled the engine records an
+    [engine.batch] span per spawning [map] call with [engine.task]
+    child spans (worker domains buffer theirs locally and the buffers
+    are merged at join), an [engine.busy_ns] counter, and an
+    [engine.utilization] gauge (busy-time / elapsed x domains). With
+    telemetry disabled none of this costs anything and results are
+    byte-identical. *)
 
 type stats = {
   tasks_run : int;  (** tasks executed by [map] since the last reset *)
@@ -18,8 +26,14 @@ type stats = {
 
 val default_jobs : unit -> int
 (** Pool size used when [?jobs] is omitted: [REPRO_JOBS] if set to a
-    positive integer, otherwise {!Domain.recommended_domain_count},
-    clamped to [1..64]. *)
+    positive integer, otherwise {!Domain.recommended_domain_count}.
+
+    Every pool size — from the environment, {!set_default_jobs} or
+    [?jobs] — is clamped to [1..64]: beyond ~64 domains the OCaml 5
+    runtime's stop-the-world sections dominate and no suite has more
+    tasks than that anyway. A malformed or non-positive [REPRO_JOBS]
+    (e.g. ["O8"], ["0"], ["-3"]) is diagnosed once on stderr and the
+    default is used; it is never silently treated as valid. *)
 
 val set_default_jobs : int -> unit
 (** Override {!default_jobs} for the rest of the process (clamped to

@@ -78,6 +78,12 @@ let characterizations : (string * float, A.Characterization.t) Hashtbl.t =
 let scaled_insts (p : W.Profile.t) scale =
   max 50_000 (int_of_float (float_of_int p.total_insts *. scale))
 
+(* Every trace actually simulated bumps this telemetry counter; the
+   bench JSON emitter divides its delta by wall time to report
+   simulated instructions per second. Cache hits simulate nothing
+   and count nothing. *)
+let note_sim_insts n = Repro_util.Telemetry.add "experiment.sim_insts" n
+
 let characterize scale (p : W.Profile.t) =
   let key = (p.name, scale) in
   match locked (fun () -> Hashtbl.find_opt characterizations key) with
@@ -85,7 +91,9 @@ let characterize scale (p : W.Profile.t) =
   | None ->
       let c =
         Cache.memoize (Cache.key ~profile:p ~scale ~kind:"charz") (fun () ->
-            A.Characterization.of_profile ~insts:(scaled_insts p scale) p)
+            let insts = scaled_insts p scale in
+            note_sim_insts insts;
+            A.Characterization.of_profile ~insts p)
       in
       locked (fun () -> Hashtbl.replace characterizations key c);
       c
@@ -103,8 +111,9 @@ let evaluate_cmps scale (p : W.Profile.t) =
          program values and are re-attached on the way out. *)
       let evals =
         Cache.memoize (Cache.key ~profile:p ~scale ~kind:"cmp") (fun () ->
-            U.Cmp.evaluate_many ~insts:(scaled_insts p scale)
-              U.Cmp.standard_configs p)
+            let insts = scaled_insts p scale in
+            note_sim_insts insts;
+            U.Cmp.evaluate_many ~insts U.Cmp.standard_configs p)
       in
       let tagged = List.combine U.Cmp.standard_configs evals in
       locked (fun () -> Hashtbl.replace cmp_evals key tagged);
@@ -117,6 +126,13 @@ let clear_cache ?(disk = false) () =
 
 (* ------------------------------------------------------------------ *)
 (* Helpers *)
+
+(* Trace executor factory for the trace-simulating experiments
+   (figs 5-9); accounts the simulated instructions. *)
+let executor scale (p : W.Profile.t) =
+  let insts = scaled_insts p scale in
+  note_sim_insts insts;
+  W.Executor.create ~insts p
 
 let serial = A.Branch_mix.Only Repro_isa.Section.Serial
 let parallel = A.Branch_mix.Only Repro_isa.Section.Parallel
@@ -351,7 +367,7 @@ let fig5_suite_mpki ~jobs scale suite =
   let per_bench =
     Engine.map ~jobs
       (fun (p : W.Profile.t) ->
-        let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+        let ex = executor scale p in
         let sims =
           List.map (fun n -> A.Bp_sim.create (F.Zoo.by_name n)) F.Zoo.all_names
         in
@@ -426,7 +442,7 @@ let fig6 ~jobs scale =
     Engine.map ~jobs
       (fun name ->
         let p = W.Suites.find name in
-        let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+        let ex = executor scale p in
         let sims = List.map (fun (_, mk) -> A.Bp_sim.create (mk ())) configs in
         A.Tool.run_all (W.Executor.trace ex) (List.map A.Bp_sim.observer sims);
         name
@@ -463,7 +479,7 @@ let fig7 ~jobs scale =
       let per_bench =
         Engine.map ~jobs
           (fun (p : W.Profile.t) ->
-            let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+            let ex = executor scale p in
             let sims =
               List.map
                 (fun (e, a) -> A.Btb_sim.create ~entries:e ~assoc:a)
@@ -503,7 +519,7 @@ let icache_table ~jobs ~title ~configs ~benchmarks scale per_suite =
           configs)
   in
   let run_one (p : W.Profile.t) =
-    let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+    let ex = executor scale p in
     let sims =
       List.map
         (fun (s, l, a) ->
@@ -576,7 +592,7 @@ let fig9 ~jobs scale =
         List.filter_map Fun.id
           (Engine.map ~jobs
              (fun (p : W.Profile.t) ->
-               let ex = W.Executor.create ~insts:(scaled_insts p scale) p in
+               let ex = executor scale p in
                let sim =
                  A.Icache_sim.create ~size_bytes:16384 ~line_bytes:128
                    ~assoc:8 ()
@@ -786,6 +802,7 @@ let run ?(scale = 1.0) ?jobs id =
   let jobs =
     match jobs with Some j -> j | None -> Engine.default_jobs ()
   in
+  Repro_util.Telemetry.with_span ("experiment." ^ to_string id) (fun () ->
   prefetch ~jobs scale id;
   match id with
   | Fig1 -> fig1 scale
@@ -801,4 +818,4 @@ let run ?(scale = 1.0) ?jobs id =
   | Tab2 -> tab2 ()
   | Tab3 -> tab3 ()
   | Fig10 -> fig10 scale
-  | Fig11 -> fig11 scale
+  | Fig11 -> fig11 scale)

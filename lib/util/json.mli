@@ -1,0 +1,29 @@
+(** Minimal JSON tree, emitter and parser.
+
+    Just enough for the bench harness's [BENCH_results.json]: no
+    external dependency is available in the build image, and the
+    emitter/validator pair must round-trip. Numbers are floats
+    (integers render without a fractional part); strings are emitted
+    with standard escapes and parsed with full escape support
+    including [\uXXXX] (encoded to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render with 2-space indentation and a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] carries the byte
+    offset of the failure. Trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val number : t -> float option
+(** The float behind [Num]; [None] otherwise. *)

@@ -1,0 +1,234 @@
+let truthy s =
+  match String.lowercase_ascii s with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
+
+let env_trace =
+  match Sys.getenv_opt "REPRO_TRACE" with
+  | Some v -> truthy v
+  | None -> false
+
+let now_ns () = Monotonic_clock.now ()
+
+let enabled_ref = ref env_trace
+let started_ns = ref (now_ns ())
+
+let enabled () = !enabled_ref
+
+let set_enabled b =
+  if b && not !enabled_ref then started_ns := now_ns ();
+  enabled_ref := b
+
+let elapsed_s () =
+  Int64.to_float (Int64.sub (now_ns ()) !started_ns) /. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain storage. Everything below is only ever touched by the
+   owning domain; cross-domain visibility happens exclusively through
+   export (worker side, before join) and absorb (joiner side, after
+   join), so no recording path takes a lock. *)
+
+type node = {
+  name : string;
+  mutable total_ns : int64;
+  mutable children : node list; (* newest first *)
+}
+
+type dstate = {
+  mutable stack : node list; (* open spans, innermost first *)
+  mutable roots : node list; (* completed top-level spans, newest first *)
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { stack = []; roots = []; counters = Hashtbl.create 16;
+        gauges = Hashtbl.create 8 })
+
+let state () = Domain.DLS.get key
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+type span = { sname : string; stotal_ns : int64; schildren : span list }
+
+let rec freeze n =
+  { sname = n.name; stotal_ns = n.total_ns;
+    schildren = List.rev_map freeze n.children }
+
+let with_span name f =
+  if not !enabled_ref then f ()
+  else begin
+    let st = state () in
+    let node = { name; total_ns = 0L; children = [] } in
+    st.stack <- node :: st.stack;
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.total_ns <- Int64.sub (now_ns ()) t0;
+        match st.stack with
+        | top :: rest when top == node -> (
+            st.stack <- rest;
+            match rest with
+            | parent :: _ -> parent.children <- node :: parent.children
+            | [] -> st.roots <- node :: st.roots)
+        | _ ->
+            (* Unbalanced close (a nested span leaked past this one);
+               drop the node rather than corrupt the tree. *)
+            ())
+      f
+  end
+
+let spans () = List.rev_map freeze (state ()).roots
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges *)
+
+let bump counters name n =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add counters name (ref n)
+
+let add name n = if !enabled_ref && n <> 0 then bump (state ()).counters name n
+let incr name = add name 1
+
+let counter name =
+  match Hashtbl.find_opt (state ()).counters name with
+  | Some r -> !r
+  | None -> 0
+
+let set_gauge name v =
+  if !enabled_ref then Hashtbl.replace (state ()).gauges name v
+
+let gauge name = Hashtbl.find_opt (state ()).gauges name
+
+let rate name =
+  let s = elapsed_s () in
+  if s <= 0.0 then 0.0 else float_of_int (counter name) /. s
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain merging *)
+
+type buffer = {
+  bspans : node list; (* oldest first *)
+  bcounters : (string * int) list;
+  bgauges : (string * float) list;
+}
+
+let empty_buffer = { bspans = []; bcounters = []; bgauges = [] }
+
+let export () =
+  let st = state () in
+  let b =
+    { bspans = List.rev st.roots;
+      bcounters =
+        Hashtbl.fold (fun k r acc -> (k, !r) :: acc) st.counters [];
+      bgauges = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.gauges [] }
+  in
+  st.roots <- [];
+  Hashtbl.reset st.counters;
+  Hashtbl.reset st.gauges;
+  b
+
+let absorb b =
+  if b != empty_buffer then begin
+    let st = state () in
+    (match st.stack with
+    | parent :: _ ->
+        parent.children <- List.rev_append b.bspans parent.children
+    | [] -> st.roots <- List.rev_append b.bspans st.roots);
+    List.iter (fun (k, n) -> bump st.counters k n) b.bcounters;
+    List.iter (fun (k, v) -> Hashtbl.replace st.gauges k v) b.bgauges
+  end
+
+let reset () =
+  let st = state () in
+  st.stack <- [];
+  st.roots <- [];
+  Hashtbl.reset st.counters;
+  Hashtbl.reset st.gauges;
+  started_ns := now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+(* Aggregated view: sibling spans with the same name collapse into
+   one line (count, total, self), recursively. *)
+type agg = {
+  aname : string;
+  mutable acount : int;
+  mutable atotal_ns : int64;
+  mutable apending : span list; (* children awaiting aggregation *)
+}
+
+let aggregate siblings =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt tbl s.sname with
+      | Some a ->
+          a.acount <- a.acount + 1;
+          a.atotal_ns <- Int64.add a.atotal_ns s.stotal_ns;
+          a.apending <- List.rev_append s.schildren a.apending
+      | None ->
+          let a =
+            { aname = s.sname; acount = 1; atotal_ns = s.stotal_ns;
+              apending = List.rev s.schildren }
+          in
+          Hashtbl.add tbl s.sname a;
+          order := a :: !order)
+    siblings;
+  List.rev !order
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let report () =
+  let st = state () in
+  let buf = Buffer.create 1024 in
+  let tree = List.rev_map freeze st.roots in
+  if tree <> [] then begin
+    Buffer.add_string buf
+      "== telemetry: span tree (count, total ms, self ms) ==\n";
+    let rec emit depth siblings =
+      List.iter
+        (fun a ->
+          let children = aggregate (List.rev a.apending) in
+          let child_ns =
+            List.fold_left
+              (fun acc c -> Int64.add acc c.atotal_ns)
+              0L children
+          in
+          (* Concurrent children absorbed from worker domains can sum
+             past the parent's wall time; clamp self at zero. *)
+          let self_ns = Int64.max 0L (Int64.sub a.atotal_ns child_ns) in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%-*s %6dx %10.2f %10.2f\n"
+               (String.make (2 * depth) ' ')
+               (max 1 (36 - (2 * depth)))
+               a.aname a.acount (ms a.atotal_ns) (ms self_ns));
+          emit (depth + 1) children)
+        siblings
+    in
+    emit 0 (aggregate tree)
+  end;
+  let sorted tbl f =
+    List.sort compare (Hashtbl.fold (fun k v acc -> f k v :: acc) tbl [])
+  in
+  if Hashtbl.length st.counters > 0 then begin
+    Buffer.add_string buf "== telemetry: counters (value, per-second) ==\n";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-36s %12d %12.1f/s\n" k v (rate k)))
+      (sorted st.counters (fun k r -> (k, !r)))
+  end;
+  if Hashtbl.length st.gauges > 0 then begin
+    Buffer.add_string buf "== telemetry: gauges ==\n";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-36s %12.3f\n" k v))
+      (sorted st.gauges (fun k v -> (k, v)))
+  end;
+  Buffer.contents buf

@@ -1,0 +1,107 @@
+(** Lightweight observability: monotonic-clock hierarchical spans,
+    named counters and gauges, and derived rates.
+
+    The layer is designed for the experiment engine's domain pool:
+
+    - {b Zero-cost when disabled.} Every recording entry point first
+      checks a single boolean; a disabled run performs no allocation,
+      no clock read and no table lookup, so instrumented and bare
+      code produce byte-identical results (enforced by a qcheck
+      property in [test/test_telemetry.ml]).
+    - {b Domain-safe without hot-path locks.} All state lives in
+      per-domain buffers ([Domain.DLS]); a worker domain records
+      spans and counters locally, {!export}s its buffer before it
+      exits, and the joining domain {!absorb}s the buffer into its
+      own tree. No mutex is ever taken while a span is open or a
+      counter is bumped.
+
+    Recording is enabled by [REPRO_TRACE=1] (or [true]/[yes]/[on]),
+    by the CLI's [--trace] flag, or programmatically with
+    {!set_enabled} (the bench harness does this for its JSON
+    emitter, without printing the tree). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Turning recording on (re)starts the {!elapsed_s} clock used by
+    derived rates. Turning it off never discards recorded data. *)
+
+val env_trace : bool
+(** Whether [REPRO_TRACE] was set truthy in the environment — used by
+    the executables to decide whether to print the span tree on exit
+    (recording may be on, e.g. for the bench JSON emitter, without
+    any tree being wanted). *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds from an arbitrary origin. *)
+
+val elapsed_s : unit -> float
+(** Seconds since recording was last enabled. *)
+
+(** {1 Spans} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()] on the monotonic clock and files
+    the closed span under the innermost open span of the calling
+    domain (or as a domain root). Exceptions close the span and
+    propagate. When disabled this is exactly [f ()]. *)
+
+(** Immutable view of a completed span, for tests and reporters.
+    Durations are monotonic-clock nanoseconds; children are in
+    completion order. *)
+type span = { sname : string; stotal_ns : int64; schildren : span list }
+
+val spans : unit -> span list
+(** Completed top-level spans of the calling domain, oldest first
+    (including everything absorbed from joined workers). *)
+
+(** {1 Counters and gauges} *)
+
+val add : string -> int -> unit
+(** [add name n] bumps the calling domain's counter [name] by [n].
+    No-op when disabled or [n = 0]. *)
+
+val incr : string -> unit
+
+val counter : string -> int
+(** Current value of the calling domain's counter (workers' values
+    are included once their buffers have been absorbed); [0] if the
+    counter never moved. *)
+
+val set_gauge : string -> float -> unit
+val gauge : string -> float option
+
+val rate : string -> float
+(** [rate name] is [counter name /. elapsed_s ()]: the counter's
+    average rate per second since recording was enabled. [0.] when
+    nothing was recorded or no time has passed. *)
+
+(** {1 Cross-domain merging} *)
+
+type buffer
+(** A worker domain's completed spans, counters and gauges, detached
+    from domain-local storage so they survive the domain's death. *)
+
+val empty_buffer : buffer
+
+val export : unit -> buffer
+(** Detach and clear the calling domain's completed spans, counters
+    and gauges (open spans stay on the stack). Call as the last thing
+    a worker does before its domain is joined. *)
+
+val absorb : buffer -> unit
+(** Splice an exported buffer into the calling domain: spans become
+    children of the innermost open span (or roots), counters add,
+    gauges overwrite. *)
+
+(** {1 Reporting} *)
+
+val reset : unit -> unit
+(** Drop the calling domain's recorded spans, counters and gauges
+    and restart the rate clock. *)
+
+val report : unit -> string
+(** Render the recorded data: an indented span tree — sibling spans
+    with the same name are aggregated, showing call count, total and
+    self time (total minus direct children) in milliseconds — then
+    counters with derived per-second rates, then gauges. Empty string
+    when nothing was recorded. *)

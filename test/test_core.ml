@@ -266,6 +266,81 @@ let test_cache_disabled_bypasses () =
       Alcotest.(check (list (float 0.0))) "memoize computes directly" [ 7.0 ]
         (C.Cache.memoize k (fun () -> [ 7.0 ])))
 
+(* In-flight temp files must be invisible: never counted by entries,
+   never deleted by clear. A ".bin"-suffixed temp (the old behaviour)
+   failed both ways. *)
+let test_cache_tmp_files_invisible () =
+  with_test_cache (fun () ->
+      let p = W.Suites.find "FT" in
+      let k = C.Cache.key ~profile:p ~scale:0.25 ~kind:"test" in
+      C.Cache.store k [ 1.0 ];
+      Alcotest.(check int) "one finished entry" 1 (C.Cache.entries ());
+      (* Simulate another writer's in-flight temp file, exactly as
+         Cache.store creates it (exclusive open, .tmp suffix). *)
+      let tmp, oc =
+        Filename.open_temp_file ~temp_dir:(C.Cache.dir ()) "tmp-cache" ".tmp"
+      in
+      output_string oc "half-written";
+      close_out oc;
+      Alcotest.(check int) "temp file not counted" 1 (C.Cache.entries ());
+      C.Cache.clear ();
+      Alcotest.(check bool) "clear leaves the in-flight temp alone" true
+        (Sys.file_exists tmp);
+      Alcotest.(check int) "clear removed the finished entry" 0
+        (C.Cache.entries ());
+      (* The writer's rename still lands after the clear: the entry is
+         not lost. *)
+      Sys.rename tmp (C.Cache.path k);
+      Alcotest.(check int) "renamed entry visible" 1 (C.Cache.entries ()))
+
+(* store racing clear: stores must never be lost to a concurrent
+   clear deleting their temp file, and no temp files may linger. *)
+let test_cache_store_concurrent_clear () =
+  with_test_cache (fun () ->
+      let p = W.Suites.find "FT" in
+      let rounds = 60 in
+      let writer =
+        Domain.spawn (fun () ->
+            for i = 1 to rounds do
+              let k =
+                C.Cache.key ~profile:p ~scale:(float_of_int i) ~kind:"race"
+              in
+              C.Cache.store k [ float_of_int i ]
+            done)
+      in
+      for _ = 1 to 20 do
+        C.Cache.clear ();
+        Domain.cpu_relax ()
+      done;
+      Domain.join writer;
+      (* Every store that began after the last clear survived; at
+         minimum a fresh store with no concurrent clear must land. *)
+      let k = C.Cache.key ~profile:p ~scale:0.125 ~kind:"race" in
+      C.Cache.store k [ 42.0 ];
+      Alcotest.(check (option (list (float 0.0)))) "no lost entry"
+        (Some [ 42.0 ]) (C.Cache.find k);
+      let leftovers =
+        List.filter
+          (fun f -> Filename.check_suffix f ".tmp")
+          (Array.to_list (Sys.readdir (C.Cache.dir ())))
+      in
+      Alcotest.(check (list string)) "no temp files linger" [] leftovers)
+
+(* The narrowed handlers: Sys_error still reads as a miss / no-op,
+   but a programming error (Marshal on a closure) now propagates
+   instead of being silently swallowed. *)
+let test_cache_store_propagates_non_io_failures () =
+  with_test_cache (fun () ->
+      let k =
+        C.Cache.key ~profile:(W.Suites.find "FT") ~scale:0.25 ~kind:"test"
+      in
+      Alcotest.(check bool) "marshalling a closure raises" true
+        (match C.Cache.store k (fun x -> x + 1) with
+        | () -> false
+        | exception Invalid_argument _ -> true);
+      Alcotest.(check int) "and leaves no temp or entry behind" 0
+        (Array.length (Sys.readdir (C.Cache.dir ()))))
+
 let () =
   Alcotest.run "core"
     [ ("experiment",
@@ -289,7 +364,13 @@ let () =
            test_cache_corruption_tolerated;
          Alcotest.test_case "clear disk" `Quick test_cache_clear_disk;
          Alcotest.test_case "disabled bypasses" `Quick
-           test_cache_disabled_bypasses ]);
+           test_cache_disabled_bypasses;
+         Alcotest.test_case "temp files invisible" `Quick
+           test_cache_tmp_files_invisible;
+         Alcotest.test_case "store racing clear" `Quick
+           test_cache_store_concurrent_clear;
+         Alcotest.test_case "non-IO failures propagate" `Quick
+           test_cache_store_propagates_non_io_failures ]);
       ("rebalance",
        [ Alcotest.test_case "estimate" `Quick test_rebalance_estimate;
          Alcotest.test_case "recommends small for HPC" `Slow

@@ -1,0 +1,205 @@
+(* Tests for Repro_util.Telemetry: span-tree nesting, counter merging
+   across domains (directly and through the Engine pool), derived
+   rates, report rendering, and the zero-effect guarantee — a run
+   with telemetry enabled produces byte-identical experiment output
+   to one with it disabled. *)
+
+module T = Repro_util.Telemetry
+module C = Repro_core
+
+let with_telemetry f =
+  T.set_enabled true;
+  T.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.reset ();
+      T.set_enabled false)
+    f
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Disabled: nothing records, nothing allocates state. *)
+
+let test_disabled_records_nothing () =
+  T.set_enabled false;
+  T.reset ();
+  let v =
+    T.with_span "a" (fun () ->
+        T.add "k" 5;
+        T.set_gauge "g" 1.0;
+        41 + 1)
+  in
+  Alcotest.(check int) "value passes through" 42 v;
+  Alcotest.(check int) "no counter" 0 (T.counter "k");
+  Alcotest.(check bool) "no gauge" true (T.gauge "g" = None);
+  Alcotest.(check int) "no spans" 0 (List.length (T.spans ()))
+
+(* ------------------------------------------------------------------ *)
+(* Span-tree nesting. *)
+
+let test_span_nesting () =
+  with_telemetry (fun () ->
+      let v =
+        T.with_span "outer" (fun () ->
+            ignore (T.with_span "in1" (fun () -> 1));
+            ignore (T.with_span "in2" (fun () -> T.with_span "deep" (fun () -> 2)));
+            42)
+      in
+      Alcotest.(check int) "value" 42 v;
+      match T.spans () with
+      | [ { T.sname = "outer"; schildren = [ a; b ]; stotal_ns } ] ->
+          Alcotest.(check string) "first child in order" "in1" a.T.sname;
+          Alcotest.(check string) "second child in order" "in2" b.T.sname;
+          (match b.T.schildren with
+          | [ { T.sname = "deep"; _ } ] -> ()
+          | _ -> Alcotest.fail "third level lost");
+          let child_ns = Int64.add a.T.stotal_ns b.T.stotal_ns in
+          Alcotest.(check bool) "parent covers children" true
+            (Int64.compare stotal_ns child_ns >= 0)
+      | spans ->
+          Alcotest.failf "unexpected tree shape (%d roots)"
+            (List.length spans))
+
+let test_span_closed_on_exception () =
+  with_telemetry (fun () ->
+      (try T.with_span "boom" (fun () -> raise Exit) with Exit -> ());
+      ignore (T.with_span "after" (fun () -> ()));
+      match T.spans () with
+      | [ { T.sname = "boom"; _ }; { T.sname = "after"; schildren = []; _ } ] ->
+          ()
+      | _ -> Alcotest.fail "raising span not closed as a root")
+
+(* ------------------------------------------------------------------ *)
+(* Counter / gauge merging across domains. *)
+
+let test_counter_merge_domains () =
+  with_telemetry (fun () ->
+      T.add "work" 1;
+      let workers =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                T.add "work" 5;
+                T.incr "work";
+                ignore (T.with_span "worker.span" (fun () -> ()));
+                T.export ()))
+      in
+      Array.iter (fun d -> T.absorb (Domain.join d)) workers;
+      Alcotest.(check int) "counters sum across domains" (1 + (4 * 6))
+        (T.counter "work");
+      let worker_spans =
+        List.length
+          (List.filter (fun s -> s.T.sname = "worker.span") (T.spans ()))
+      in
+      Alcotest.(check int) "worker spans absorbed as roots" 4 worker_spans)
+
+let test_engine_merges_worker_buffers () =
+  with_telemetry (fun () ->
+      let out =
+        C.Engine.map ~jobs:4
+          (fun i ->
+            T.incr "task.count";
+            i * 2)
+          (List.init 8 Fun.id)
+      in
+      Alcotest.(check (list int)) "results intact"
+        (List.init 8 (fun i -> i * 2))
+        out;
+      Alcotest.(check int) "every task's counter merged" 8
+        (T.counter "task.count");
+      Alcotest.(check bool) "busy time accumulated" true
+        (T.counter "engine.busy_ns" > 0);
+      let rec count name s =
+        (if s.T.sname = name then 1 else 0)
+        + List.fold_left (fun acc c -> acc + count name c) 0 s.T.schildren
+      in
+      let total name =
+        List.fold_left (fun acc s -> acc + count name s) 0 (T.spans ())
+      in
+      Alcotest.(check int) "one batch span" 1 (total "engine.batch");
+      Alcotest.(check int) "task spans merged under the batch" 8
+        (total "engine.task");
+      match T.gauge "engine.utilization" with
+      | Some u ->
+          Alcotest.(check bool) "utilization in (0, 1.5]" true
+            (u > 0.0 && u <= 1.5)
+      | None -> Alcotest.fail "utilization gauge not set")
+
+let test_rate_derivation () =
+  with_telemetry (fun () ->
+      T.add "events" 1000;
+      (* Burn a little time so elapsed_s is strictly positive. *)
+      ignore (Sys.opaque_identity (Array.init 10_000 Fun.id));
+      Alcotest.(check bool) "rate positive" true (T.rate "events" > 0.0);
+      Alcotest.(check bool) "rate of unknown counter" true
+        (T.rate "nonexistent" = 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering. *)
+
+let test_report_renders () =
+  with_telemetry (fun () ->
+      ignore
+        (T.with_span "alpha" (fun () -> T.with_span "beta" (fun () -> 0)));
+      ignore (T.with_span "alpha" (fun () -> 0));
+      T.add "my.counter" 3;
+      T.set_gauge "my.gauge" 0.5;
+      let r = T.report () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("report mentions " ^ needle) true
+            (contains r needle))
+        [ "alpha"; "beta"; "my.counter"; "my.gauge"; "2x" ])
+
+let test_report_empty_when_nothing_recorded () =
+  with_telemetry (fun () ->
+      Alcotest.(check string) "empty report" "" (T.report ()))
+
+(* ------------------------------------------------------------------ *)
+(* The zero-effect guarantee: enabling telemetry may never change a
+   single output byte of an experiment, for any pool size. *)
+
+let qcheck_output_identical_with_telemetry =
+  QCheck.Test.make
+    ~name:"telemetry on == telemetry off (byte-identical fig4 output)"
+    ~count:4
+    QCheck.(int_range 1 4)
+    (fun jobs ->
+      C.Cache.set_enabled false;
+      T.set_enabled false;
+      C.Experiment.clear_cache ();
+      let off = C.Report.run_to_string ~scale:0.02 ~jobs C.Experiment.Fig4 in
+      T.set_enabled true;
+      T.reset ();
+      C.Experiment.clear_cache ();
+      let on = C.Report.run_to_string ~scale:0.02 ~jobs C.Experiment.Fig4 in
+      T.reset ();
+      T.set_enabled false;
+      String.equal off on)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("disabled",
+       [ Alcotest.test_case "records nothing" `Quick
+           test_disabled_records_nothing ]);
+      ("spans",
+       [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+         Alcotest.test_case "closed on exception" `Quick
+           test_span_closed_on_exception ]);
+      ("merging",
+       [ Alcotest.test_case "counters across domains" `Quick
+           test_counter_merge_domains;
+         Alcotest.test_case "engine worker buffers" `Quick
+           test_engine_merges_worker_buffers ]);
+      ("rates", [ Alcotest.test_case "derived" `Quick test_rate_derivation ]);
+      ("report",
+       [ Alcotest.test_case "renders tree and counters" `Quick
+           test_report_renders;
+         Alcotest.test_case "empty when silent" `Quick
+           test_report_empty_when_nothing_recorded ]);
+      ("zero-effect", qcheck [ qcheck_output_identical_with_telemetry ]) ]

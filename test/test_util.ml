@@ -248,6 +248,61 @@ let prop_roundup_pow2 =
       let p = Units.round_up_pow2 n in
       Units.is_power_of_two p && p >= n && (p = 1 || p / 2 < n))
 
+(* ------------------------------------------------------------------ *)
+(* Json: the bench emitter/validator pair must round-trip. *)
+
+module Json = Repro_util.Json
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("schema_version", Json.Num 1.0);
+        ("name", Json.Str "fig8 \"quoted\" \\ tab\there");
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ("xs", Json.Arr [ Json.Num 0.5; Json.Num (-3.0); Json.Num 1e9 ]);
+        ("empty_arr", Json.Arr []);
+        ("empty_obj", Json.Obj []) ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "round-trips" true (parsed = doc)
+  | Error e -> Alcotest.failf "emitted JSON failed to parse: %s" e
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1, 2"; "{\"a\": }"; "tru"; "{\"a\": 1} trailing"; "nan";
+      "\"unterminated" ]
+
+let test_json_accessors () =
+  match Json.of_string "{\"a\": 3.5, \"b\": [null, \"x\"]}" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok doc ->
+      Alcotest.(check (option (float 1e-9))) "member+number" (Some 3.5)
+        (Option.bind (Json.member "a" doc) Json.number);
+      Alcotest.(check bool) "missing member" true (Json.member "z" doc = None);
+      Alcotest.(check bool) "number of non-num" true
+        (Json.number (Json.Str "x") = None)
+
+let test_json_nonfinite_numbers () =
+  (* JSON has no NaN/inf: they must render as null, not break parsing. *)
+  let s = Json.to_string (Json.Arr [ Json.Num Float.nan; Json.Num Float.infinity ]) in
+  match Json.of_string s with
+  | Ok (Json.Arr [ Json.Null; Json.Null ]) -> ()
+  | Ok _ -> Alcotest.fail "non-finite numbers not nulled"
+  | Error e -> Alcotest.failf "emitted JSON failed to parse: %s" e
+
+let prop_json_string_roundtrip =
+  QCheck.Test.make ~name:"Json string escape round-trips" ~count:300
+    QCheck.(string_of Gen.printable)
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') -> String.equal s s'
+      | Ok _ | Error _ -> false)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -281,7 +336,13 @@ let () =
       ("units",
        [ Alcotest.test_case "conversions" `Quick test_units;
          Alcotest.test_case "log2 invalid" `Quick test_units_log2_invalid ]);
+      ("json",
+       [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+         Alcotest.test_case "accessors" `Quick test_json_accessors;
+         Alcotest.test_case "non-finite numbers" `Quick
+           test_json_nonfinite_numbers ]);
       ("properties",
        qcheck
          [ prop_percentile_bounded; prop_histogram_mass; prop_rng_int_range;
-           prop_roundup_pow2 ]) ]
+           prop_roundup_pow2; prop_json_string_roundtrip ]) ]
