@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke bench bench-json clean cache-clear
+.PHONY: all build test smoke bench bench-json ci clean cache-clear
 
 all: build
 
@@ -33,6 +33,20 @@ bench-json: build
 	rm -f BENCH_results.json
 	REPRO_SCALE=0.05 REPRO_CACHE=0 \
 	  $(DUNE) exec bench/main.exe -- fig1 --json BENCH_results.json
+	test -s BENCH_results.json
+	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
+
+# Full CI gate: build everything, run the whole test suite (golden,
+# qcheck differential and packed-replay identity tests included), then
+# regenerate BENCH_results.json over the trace-sweep figures — whose
+# entries carry the stream-vs-replay probe (stream_ms / replay_ms /
+# sweep_speedup) — and validate the emitted schema.
+ci: build
+	$(DUNE) runtest
+	rm -f BENCH_results.json
+	REPRO_SCALE=0.05 REPRO_CACHE=0 \
+	  $(DUNE) exec bench/main.exe -- \
+	    fig1 fig5 fig7 fig8 fig9 --json BENCH_results.json
 	test -s BENCH_results.json
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
 

@@ -11,6 +11,9 @@
                                               cores; results identical)
      dune exec bench/main.exe -- --no-cache   ignore the persistent
                                               _cache/ directory
+     dune exec bench/main.exe -- --no-packed  disable packed-trace
+                                              capture/replay (stream
+                                              every trace afresh)
      dune exec bench/main.exe -- fig8 --json BENCH_results.json
                                               also write per-experiment
                                               wall time, instr/s, cache
@@ -45,6 +48,8 @@ type measurement = {
   m_misses : int;
   m_seq_ms : float option; (* uncached -j1 probe, jobs > 1 only *)
   m_par_ms : float option; (* uncached -jN probe, jobs > 1 only *)
+  m_stream_ms : float option; (* streaming sweep probe, figs 5-9 only *)
+  m_replay_ms : float option; (* packed-replay sweep probe, figs 5-9 only *)
 }
 
 let ms_since t0 = Int64.to_float (Int64.sub (T.now_ns ()) t0) /. 1e6
@@ -72,6 +77,41 @@ let speedup_probe ~jobs id =
         (Some seq, Some par))
   end
 
+let is_trace_sim = function
+  | Repro_core.Experiment.Fig5 | Fig6 | Fig7 | Fig8 | Fig9 -> true
+  | _ -> false
+
+(* Sweep probe for the trace-simulating experiments: the same sweep
+   with packed capture disabled (the generator re-runs on every
+   per-benchmark pass) against a replay over warm captures. The ratio
+   is the wall-time the packed representation saves a harness that
+   sweeps the same traces repeatedly. *)
+let sweep_probe id =
+  if not (is_trace_sim id) then (None, None)
+  else begin
+    let was_cache = Repro_core.Cache.enabled () in
+    let was_packed = Repro_core.Experiment.packed_enabled () in
+    Repro_core.Cache.set_enabled false;
+    Fun.protect
+      ~finally:(fun () ->
+        Repro_core.Cache.set_enabled was_cache;
+        Repro_core.Experiment.set_packed was_packed)
+      (fun () ->
+        let timed () =
+          let t0 = T.now_ns () in
+          ignore (Repro_core.Report.run_to_string ~scale ~jobs:1 id);
+          ms_since t0
+        in
+        Repro_core.Experiment.set_packed false;
+        Repro_core.Experiment.clear_cache ();
+        let stream = timed () in
+        Repro_core.Experiment.set_packed true;
+        Repro_core.Experiment.clear_cache ();
+        ignore (timed ()) (* capture pass: warm the packed memo *);
+        let replay = timed () in
+        (Some stream, Some replay))
+  end
+
 let run_experiment ~jobs ~measure id =
   let stats0 = Repro_core.Engine.stats () in
   let insts0 = T.counter "experiment.sim_insts" in
@@ -89,6 +129,7 @@ let run_experiment ~jobs ~measure id =
     let sim_insts = T.counter "experiment.sim_insts" - insts0 in
     let stats1 = Repro_core.Engine.stats () in
     let seq_ms, par_ms = speedup_probe ~jobs id in
+    let stream_ms, replay_ms = sweep_probe id in
     Some
       { m_id = Repro_core.Experiment.to_string id;
         m_wall_ms = wall_ms;
@@ -96,7 +137,9 @@ let run_experiment ~jobs ~measure id =
         m_hits = stats1.cache_hits - stats0.cache_hits;
         m_misses = stats1.cache_misses - stats0.cache_misses;
         m_seq_ms = seq_ms;
-        m_par_ms = par_ms }
+        m_par_ms = par_ms;
+        m_stream_ms = stream_ms;
+        m_replay_ms = replay_ms }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -126,14 +169,21 @@ let measurement_json ~jobs m =
       ( "speedup_vs_j1",
         match (m.m_seq_ms, m.m_par_ms) with
         | Some s, Some p when p > 0.0 -> J.Num (s /. p)
+        | _ -> J.Null );
+      ("stream_ms", opt m.m_stream_ms);
+      ("replay_ms", opt m.m_replay_ms);
+      ( "sweep_speedup",
+        match (m.m_stream_ms, m.m_replay_ms) with
+        | Some s, Some r when r > 0.0 -> J.Num (s /. r)
         | _ -> J.Null ) ]
 
 let emit_json ~jobs path rows =
   let doc =
     J.Obj
-      [ ("schema_version", J.Num 1.0);
+      [ ("schema_version", J.Num 2.0);
         ("scale", J.Num scale);
         ("jobs", J.Num (float_of_int jobs));
+        ("packed", J.Bool (Repro_core.Experiment.packed_enabled ()));
         ("experiments", J.Arr (List.map (measurement_json ~jobs) rows)) ]
   in
   Out_channel.with_open_bin path (fun oc ->
@@ -174,7 +224,16 @@ let check_json path =
               | _ -> fail "experiment entry without a string \"id\"");
               List.iter (num row)
                 [ "wall_ms"; "sim_insts"; "instr_per_s"; "jobs";
-                  "cache_hits"; "cache_misses"; "cache_hit_rate" ])
+                  "cache_hits"; "cache_misses"; "cache_hit_rate" ];
+              (* Schema-2 probe fields: null for experiments the probe
+                 does not apply to, numbers otherwise. *)
+              List.iter
+                (fun name ->
+                  match J.member name row with
+                  | None | Some (J.Num _ | J.Null) -> ()
+                  | Some _ -> fail "field %S is neither number nor null" name)
+                [ "seq_ms"; "par_ms"; "speedup_vs_j1"; "stream_ms";
+                  "replay_ms"; "sweep_speedup" ])
             rows;
           Printf.printf "%s: ok (%d experiment%s)\n" path (List.length rows)
             (if List.length rows = 1 then "" else "s")
@@ -311,9 +370,10 @@ let valid_ids () =
   String.concat " "
     (List.map Repro_core.Experiment.to_string Repro_core.Experiment.all)
 
-(* Strip [-j N] / [--jobs N], [--no-cache], [--json FILE] and
-   [--check-json FILE] out of the argument list, returning
-   (jobs, json output file, file to validate, remaining args). *)
+(* Strip [-j N] / [--jobs N], [--no-cache], [--no-packed],
+   [--json FILE] and [--check-json FILE] out of the argument list,
+   returning (jobs, json output file, file to validate, remaining
+   args). *)
 let parse_flags args =
   let json = ref None in
   let check = ref None in
@@ -330,6 +390,9 @@ let parse_flags args =
         exit 2
     | "--no-cache" :: rest ->
         Repro_core.Cache.set_enabled false;
+        go jobs acc rest
+    | "--no-packed" :: rest ->
+        Repro_core.Experiment.set_packed false;
         go jobs acc rest
     | "--json" :: file :: rest when file <> "" ->
         json := Some file;

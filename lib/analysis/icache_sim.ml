@@ -2,6 +2,7 @@ module Inst = Repro_isa.Inst
 
 type t = {
   cache : Repro_frontend.Icache.t;
+  line_shift : int; (* log2 line_bytes: avoids a division per inst *)
   insts : Tool.Split.t;
   misses : Tool.Split.t;
   mutable last_line : int; (* line currently being consumed; -1 = none *)
@@ -11,6 +12,7 @@ let create ?next_line_prefetch ~size_bytes ~line_bytes ~assoc () =
   { cache =
       Repro_frontend.Icache.create ?next_line_prefetch ~size_bytes ~line_bytes
         ~assoc ();
+    line_shift = Repro_util.Units.log2 line_bytes;
     insts = Tool.Split.create ();
     misses = Tool.Split.create ();
     last_line = -1 }
@@ -24,8 +26,8 @@ let feed t (i : Inst.t) =
   else begin
   let s = i.section in
   Tool.Split.incr t.insts s;
-  let line_bytes = Repro_frontend.Icache.line_bytes t.cache in
-  let first = i.addr / line_bytes and last = (i.addr + i.size - 1) / line_bytes in
+  let first = i.addr lsr t.line_shift
+  and last = (i.addr + i.size - 1) lsr t.line_shift in
   (* Only access the cache when the fetch run enters a new line;
      within the current line, bytes are extracted for free. *)
   if first <> t.last_line || last <> t.last_line then begin
@@ -37,6 +39,11 @@ let feed t (i : Inst.t) =
   end
 
 let observer t = feed t
+
+(* The I-cache observes every instruction (sequential extraction and
+   line crossings), so the packed form brings no filtering — just a
+   much cheaper producer than re-running the generator. *)
+let run_all src sims = Tool.run_all_source src (List.map feed sims)
 
 let scope_get split = function
   | Branch_mix.Total -> Tool.Split.total split

@@ -10,6 +10,27 @@ val run : Repro_isa.Trace.t -> (Repro_isa.Inst.t -> unit) -> unit
 val run_all : Repro_isa.Trace.t -> (Repro_isa.Inst.t -> unit) list -> unit
 (** One pass, observers called in list order per instruction. *)
 
+(** A replayable instruction source: either a live streaming trace
+    (re-executes the workload generator on every pass) or a packed
+    capture (generated once, replayed cheaply). Tools that can
+    exploit the packed form — branch predictors and BTBs only act on
+    a small slice of the stream — dispatch on this; everything else
+    treats both forms as the identical instruction sequence. *)
+module Source : sig
+  type t =
+    | Stream of Repro_isa.Trace.t
+    | Packed of Repro_isa.Packed_trace.t
+
+  val of_trace : Repro_isa.Trace.t -> t
+  val of_packed : Repro_isa.Packed_trace.t -> t
+
+  val iter : t -> (Repro_isa.Inst.t -> unit) -> unit
+  (** Full stream, in order, whichever form backs it. *)
+end
+
+val run_all_source : Source.t -> (Repro_isa.Inst.t -> unit) list -> unit
+(** {!run_all} over either source form (full stream, one pass). *)
+
 (** Per-section tallies many tools need. *)
 module Split : sig
   type t = { mutable serial : int; mutable parallel : int }

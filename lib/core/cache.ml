@@ -1,6 +1,6 @@
 module Telemetry = Repro_util.Telemetry
 
-let version = "1"
+let version = "2"
 
 let magic = "REPROCACHE1\n"
 let suffix = ".bin"

@@ -119,20 +119,132 @@ let evaluate_cmps scale (p : W.Profile.t) =
       locked (fun () -> Hashtbl.replace cmp_evals key tagged);
       tagged
 
+(* ------------------------------------------------------------------ *)
+(* Packed traces.
+
+   The trace-simulating experiments (figs 5-9) sweep many hardware
+   configurations over each (profile, scale) instruction stream; some
+   visit the same stream from several figures. Rather than re-running
+   the generator on every visit, the stream is captured once into a
+   {!Repro_isa.Packed_trace} and replayed. An LRU byte budget
+   (REPRO_PACKED_MB, default 512) keeps the resident set bounded;
+   REPRO_PACKED=0 disables capture entirely and REPRO_PACKED_CACHE=1
+   additionally persists captures through {!Cache}. *)
+
+let env_false v =
+  match Sys.getenv_opt v with
+  | Some ("0" | "false" | "no") -> true
+  | _ -> false
+
+let env_true v =
+  match Sys.getenv_opt v with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let packed_flag = ref (not (env_false "REPRO_PACKED"))
+let set_packed b = packed_flag := b
+let packed_enabled () = !packed_flag
+
+let packed_budget_bytes =
+  let mb =
+    match Sys.getenv_opt "REPRO_PACKED_MB" with
+    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 512)
+    | None -> 512
+  in
+  mb * 1024 * 1024
+
+type packed_entry = {
+  pt : Repro_isa.Packed_trace.t;
+  bytes : int;
+  mutable stamp : int; (* last-use clock tick, for LRU eviction *)
+}
+
+let packed_traces : (string * float, packed_entry) Hashtbl.t =
+  Hashtbl.create 64
+
+let packed_bytes = ref 0
+let packed_clock = ref 0
+
+(* Caller holds [memo_lock]. Never evicts [keep] (the entry being
+   inserted may itself exceed the budget; it must still be usable). *)
+let evict_packed ~keep =
+  let continue_ = ref true in
+  while
+    !continue_ && !packed_bytes > packed_budget_bytes
+    && Hashtbl.length packed_traces > 1
+  do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          if k = keep then acc
+          else
+            match acc with
+            | Some (_, b) when b.stamp <= e.stamp -> acc
+            | _ -> Some (k, e))
+        packed_traces None
+    in
+    match victim with
+    | None -> continue_ := false
+    | Some (k, e) ->
+        Hashtbl.remove packed_traces k;
+        packed_bytes := !packed_bytes - e.bytes
+  done
+
+let capture scale (p : W.Profile.t) =
+  let insts = scaled_insts p scale in
+  W.Executor.packed (W.Executor.create ~insts p)
+
+let packed_trace scale (p : W.Profile.t) =
+  let key = (p.name, scale) in
+  let hit =
+    locked (fun () ->
+        match Hashtbl.find_opt packed_traces key with
+        | Some e ->
+            incr packed_clock;
+            e.stamp <- !packed_clock;
+            Some e.pt
+        | None -> None)
+  in
+  match hit with
+  | Some pt -> pt
+  | None ->
+      let pt =
+        if env_true "REPRO_PACKED_CACHE" then
+          Cache.memoize (Cache.key ~profile:p ~scale ~kind:"ptrace") (fun () ->
+              capture scale p)
+        else capture scale p
+      in
+      let bytes = Repro_isa.Packed_trace.byte_size pt in
+      locked (fun () ->
+          if not (Hashtbl.mem packed_traces key) then begin
+            incr packed_clock;
+            Hashtbl.replace packed_traces key
+              { pt; bytes; stamp = !packed_clock };
+            packed_bytes := !packed_bytes + bytes;
+            evict_packed ~keep:key
+          end);
+      pt
+
 let clear_cache ?(disk = false) () =
-  Hashtbl.reset characterizations;
-  Hashtbl.reset cmp_evals;
+  locked (fun () ->
+      Hashtbl.reset characterizations;
+      Hashtbl.reset cmp_evals;
+      Hashtbl.reset packed_traces;
+      packed_bytes := 0);
   if disk then Cache.clear ()
 
 (* ------------------------------------------------------------------ *)
 (* Helpers *)
 
-(* Trace executor factory for the trace-simulating experiments
-   (figs 5-9); accounts the simulated instructions. *)
-let executor scale (p : W.Profile.t) =
+(* Replayable source for one simulation pass of the trace-simulating
+   experiments (figs 5-9); accounts the simulated instructions per
+   pass exactly as a streaming run would. *)
+let source scale (p : W.Profile.t) =
   let insts = scaled_insts p scale in
   note_sim_insts insts;
-  W.Executor.create ~insts p
+  if packed_enabled () then A.Tool.Source.of_packed (packed_trace scale p)
+  else
+    A.Tool.Source.of_trace (W.Executor.trace (W.Executor.create ~insts p))
 
 let serial = A.Branch_mix.Only Repro_isa.Section.Serial
 let parallel = A.Branch_mix.Only Repro_isa.Section.Parallel
@@ -367,11 +479,10 @@ let fig5_suite_mpki ~jobs scale suite =
   let per_bench =
     Engine.map ~jobs
       (fun (p : W.Profile.t) ->
-        let ex = executor scale p in
         let sims =
           List.map (fun n -> A.Bp_sim.create (F.Zoo.by_name n)) F.Zoo.all_names
         in
-        A.Tool.run_all (W.Executor.trace ex) (List.map A.Bp_sim.observer sims);
+        A.Bp_sim.run_all (source scale p) sims;
         sims)
       profiles
   in
@@ -442,9 +553,8 @@ let fig6 ~jobs scale =
     Engine.map ~jobs
       (fun name ->
         let p = W.Suites.find name in
-        let ex = executor scale p in
         let sims = List.map (fun (_, mk) -> A.Bp_sim.create (mk ())) configs in
-        A.Tool.run_all (W.Executor.trace ex) (List.map A.Bp_sim.observer sims);
+        A.Bp_sim.run_all (source scale p) sims;
         name
         :: List.concat_map
              (fun sim ->
@@ -479,14 +589,12 @@ let fig7 ~jobs scale =
       let per_bench =
         Engine.map ~jobs
           (fun (p : W.Profile.t) ->
-            let ex = executor scale p in
             let sims =
               List.map
                 (fun (e, a) -> A.Btb_sim.create ~entries:e ~assoc:a)
                 btb_configs
             in
-            A.Tool.run_all (W.Executor.trace ex)
-              (List.map A.Btb_sim.observer sims);
+            A.Btb_sim.run_all (source scale p) sims;
             sims)
           profiles
       in
@@ -519,14 +627,13 @@ let icache_table ~jobs ~title ~configs ~benchmarks scale per_suite =
           configs)
   in
   let run_one (p : W.Profile.t) =
-    let ex = executor scale p in
     let sims =
       List.map
         (fun (s, l, a) ->
           A.Icache_sim.create ~size_bytes:s ~line_bytes:l ~assoc:a ())
         configs
     in
-    A.Tool.run_all (W.Executor.trace ex) (List.map A.Icache_sim.observer sims);
+    A.Icache_sim.run_all (source scale p) sims;
     sims
   in
   if per_suite then
@@ -592,13 +699,11 @@ let fig9 ~jobs scale =
         List.filter_map Fun.id
           (Engine.map ~jobs
              (fun (p : W.Profile.t) ->
-               let ex = executor scale p in
                let sim =
                  A.Icache_sim.create ~size_bytes:16384 ~line_bytes:128
                    ~assoc:8 ()
                in
-               A.Tool.run_all (W.Executor.trace ex)
-                 [ A.Icache_sim.observer sim ];
+               A.Icache_sim.run_all (source scale p) [ sim ];
                let v = A.Icache_sim.usefulness sim in
                if Float.is_nan v then None else Some v)
              (W.Suites.by_suite suite))
@@ -792,11 +897,18 @@ let fig11 scale =
 let prefetch ~jobs scale id =
   let charz profiles = ignore (Engine.map ~jobs (characterize scale) profiles) in
   let cmps profiles = ignore (Engine.map ~jobs (evaluate_cmps scale) profiles) in
+  let traces profiles =
+    if packed_enabled () then
+      ignore
+        (Engine.map ~jobs (fun p -> ignore (packed_trace scale p)) profiles)
+  in
   match id with
   | Fig1 | Fig2 | Tab1 | Fig3 | Fig4 -> charz W.Suites.all
   | Fig10 -> cmps W.Suites.all
   | Fig11 -> cmps (List.map W.Suites.find W.Suites.fig11_subset)
-  | Fig5 | Fig6 | Fig7 | Fig8 | Fig9 | Tab2 | Tab3 -> ()
+  | Fig5 | Fig7 | Fig8 | Fig9 -> traces W.Suites.all
+  | Fig6 -> traces (List.map W.Suites.find W.Suites.fig6_subset)
+  | Tab2 | Tab3 -> ()
 
 let run ?(scale = 1.0) ?jobs id =
   let jobs =

@@ -46,5 +46,16 @@ val run : ?scale:float -> ?jobs:int -> id -> Repro_util.Table.t list
     rendered tables do not depend on [jobs]. *)
 
 val clear_cache : ?disk:bool -> unit -> unit
-(** Drop memoized characterizations and measurements; with
-    [~disk:true] also delete the persistent {!Cache} entries. *)
+(** Drop memoized characterizations, measurements and packed traces;
+    with [~disk:true] also delete the persistent {!Cache} entries. *)
+
+val set_packed : bool -> unit
+(** Enable or disable packed-trace capture for the trace-simulating
+    experiments (figs 5-9). When enabled (the default unless
+    [REPRO_PACKED=0]), each (benchmark, scale) stream is captured once
+    into a {!Repro_isa.Packed_trace} and replayed across sweep
+    configurations, under an LRU byte budget ([REPRO_PACKED_MB],
+    default 512); [REPRO_PACKED_CACHE=1] additionally persists
+    captures through {!Cache}. Results are identical either way. *)
+
+val packed_enabled : unit -> bool

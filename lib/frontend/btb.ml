@@ -25,7 +25,11 @@ let entries t = t.sets * t.assoc
 let assoc t = t.assoc
 
 let set_of t pc = (pc lsr 1) land (t.sets - 1)
-let tag_of t pc = pc lsr 1 lsr Repro_util.Units.log2 t.sets
+(* lsr is right-associative: without the parentheses this would
+   compute [pc lsr (1 lsr log2 sets)] = [pc] for any multi-set
+   geometry, silently widening the tag by the set-index bits the
+   storage accounting below assumes are dropped. *)
+let tag_of t pc = (pc lsr 1) lsr Repro_util.Units.log2 t.sets
 
 let touch t way =
   t.clock <- t.clock + 1;

@@ -1,16 +1,30 @@
 (* Circular bit buffer; head points at the slot of the most recent
-   outcome. *)
-type t = { len : int; buf : Bytes.t; mutable head : int }
+   outcome. A packed shadow register mirrors the newest outcomes so
+   the common [low_bits] query (predictor indexing) is one mask. *)
+type t = {
+  len : int;
+  buf : Bytes.t;
+  mutable head : int;
+  reg_mask : int; (* covers min len 62 bits *)
+  mutable reg : int; (* newest outcome at bit 0 *)
+}
+
+let reg_bits len = min len 62
 
 let create len =
   if len < 1 || len > 1024 then invalid_arg "History.create";
-  { len; buf = Bytes.make len '\000'; head = 0 }
+  { len;
+    buf = Bytes.make len '\000';
+    head = 0;
+    reg_mask = (1 lsl reg_bits len) - 1;
+    reg = 0 }
 
 let length t = t.len
 
 let push t taken =
   t.head <- (t.head + t.len - 1) mod t.len;
-  Bytes.unsafe_set t.buf t.head (if taken then '\001' else '\000')
+  Bytes.unsafe_set t.buf t.head (if taken then '\001' else '\000');
+  t.reg <- ((t.reg lsl 1) lor (if taken then 1 else 0)) land t.reg_mask
 
 let bit t i =
   if i < 0 || i >= t.len then false
@@ -19,11 +33,7 @@ let bit t i =
 let low_bits t n =
   if n > 62 then invalid_arg "History.low_bits: too wide";
   let n = min n t.len in
-  let acc = ref 0 in
-  for i = n - 1 downto 0 do
-    acc := (!acc lsl 1) lor (if bit t i then 1 else 0)
-  done;
-  !acc
+  t.reg land ((1 lsl n) - 1)
 
 let folded t ~hist_len ~out_bits =
   assert (out_bits > 0 && out_bits <= 30);
@@ -39,4 +49,5 @@ let folded t ~hist_len ~out_bits =
 
 let clear t =
   Bytes.fill t.buf 0 t.len '\000';
-  t.head <- 0
+  t.head <- 0;
+  t.reg <- 0

@@ -10,6 +10,8 @@ type t = {
   line : int;
   assoc : int;
   sets : int;
+  line_shift : int; (* log2 line: byte address -> line address *)
+  set_shift : int; (* log2 sets: line address -> tag *)
   ways : way array array;
   granules : int;
   prefetch : bool;
@@ -20,6 +22,8 @@ type t = {
   mutable useful_prefetches : int;
   mutable useful_sum : float; (* accumulated usefulness of evicted lines *)
   mutable filled : int; (* lines ever filled *)
+  mutable cc_line : int; (* line of the most recent lookup; -1 = none *)
+  mutable cc_way : way; (* its way — valid only while the tag matches *)
 }
 
 let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
@@ -35,6 +39,8 @@ let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
     line = line_bytes;
     assoc;
     sets;
+    line_shift = Repro_util.Units.log2 line_bytes;
+    set_shift = Repro_util.Units.log2 sets;
     ways =
       Array.init sets (fun _ ->
           Array.init assoc (fun _ ->
@@ -47,7 +53,9 @@ let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
     prefetches = 0;
     useful_prefetches = 0;
     useful_sum = 0.0;
-    filled = 0 }
+    filled = 0;
+    cc_line = -1;
+    cc_way = { tag = -1; lru = 0; touched = 0; prefetched = false } }
 
 let size_bytes t = t.size
 let line_bytes t = t.line
@@ -74,7 +82,7 @@ let mark t way ~offset ~size =
    next-line prefetcher. Does nothing if already resident. *)
 let rec prefetch_line t line_addr =
   let set_idx = line_addr land (t.sets - 1) in
-  let tag = line_addr lsr Repro_util.Units.log2 t.sets in
+  let tag = line_addr lsr t.set_shift in
   let set = t.ways.(set_idx) in
   let rec find i =
     if i = t.assoc then None
@@ -104,7 +112,7 @@ and pick_victim t set =
 
 let access_line t line_addr ~offset ~size =
   let set_idx = line_addr land (t.sets - 1) in
-  let tag = line_addr lsr Repro_util.Units.log2 t.sets in
+  let tag = line_addr lsr t.set_shift in
   let set = t.ways.(set_idx) in
   t.accesses <- t.accesses + 1;
   let rec find i =
@@ -120,6 +128,8 @@ let access_line t line_addr ~offset ~size =
       end;
       touch_clock t way;
       mark t way ~offset ~size;
+      t.cc_line <- line_addr;
+      t.cc_way <- way;
       true
   | None ->
       t.misses <- t.misses + 1;
@@ -132,36 +142,47 @@ let access_line t line_addr ~offset ~size =
       t.filled <- t.filled + 1;
       touch_clock t victim;
       mark t victim ~offset ~size;
+      t.cc_line <- line_addr;
+      t.cc_way <- victim;
       if t.prefetch then prefetch_line t (line_addr + 1);
       false
 
 let access t ~addr ~size =
   assert (size > 0);
-  let first_line = addr / t.line and last_line = (addr + size - 1) / t.line in
+  let first_line = addr lsr t.line_shift
+  and last_line = (addr + size - 1) lsr t.line_shift in
   let hit = ref true in
   for line = first_line to last_line do
-    let lo = max addr (line * t.line) in
-    let hi = min (addr + size) ((line + 1) * t.line) in
-    let ok = access_line t line ~offset:(lo - (line * t.line)) ~size:(hi - lo) in
+    let base = line lsl t.line_shift in
+    let lo = max addr base in
+    let hi = min (addr + size) (base + t.line) in
+    let ok = access_line t line ~offset:(lo - base) ~size:(hi - lo) in
     if not ok then hit := false
   done;
   !hit
 
 let consume t ~addr ~size =
   assert (size > 0);
-  let first_line = addr / t.line and last_line = (addr + size - 1) / t.line in
-  for line = first_line to last_line do
-    let set_idx = line land (t.sets - 1) in
-    let tag = line lsr Repro_util.Units.log2 t.sets in
-    let set = t.ways.(set_idx) in
-    let lo = max addr (line * t.line) in
-    let hi = min (addr + size) ((line + 1) * t.line) in
-    Array.iter
-      (fun way ->
-        if way.tag = tag then
-          mark t way ~offset:(lo - (line * t.line)) ~size:(hi - lo))
-      set
-  done
+  let first_line = addr lsr t.line_shift
+  and last_line = (addr + size - 1) lsr t.line_shift in
+  if first_line = last_line && first_line = t.cc_line
+     && t.cc_way.tag = first_line lsr t.set_shift then
+    (* Fast path: consuming from the line the last lookup resolved, and
+       its way still holds that tag (tags are unique within a set). *)
+    mark t t.cc_way ~offset:(addr land (t.line - 1)) ~size
+  else
+    for line = first_line to last_line do
+      let set_idx = line land (t.sets - 1) in
+      let tag = line lsr t.set_shift in
+      let set = t.ways.(set_idx) in
+      let base = line lsl t.line_shift in
+      let lo = max addr base in
+      let hi = min (addr + size) (base + t.line) in
+      Array.iter
+        (fun way ->
+          if way.tag = tag then mark t way ~offset:(lo - base) ~size:(hi - lo))
+        set
+    done
 
 let accesses t = t.accesses
 let misses t = t.misses

@@ -337,3 +337,6 @@ let run t f =
   done
 
 let trace t = Trace.make (fun f -> run t f)
+
+let packed ?chunk_capacity t =
+  Repro_isa.Packed_trace.of_trace ?chunk_capacity (trace t)

@@ -27,3 +27,9 @@ val trace : t -> Repro_isa.Trace.t
 
 val run : t -> (Repro_isa.Inst.t -> unit) -> unit
 (** One-shot equivalent of [Trace.iter (trace t)]. *)
+
+val packed : ?chunk_capacity:int -> t -> Repro_isa.Packed_trace.t
+(** Capture the dynamic stream once into a
+    {!Repro_isa.Packed_trace.t}; replays of the capture are
+    observationally identical to re-running {!trace} at a fraction of
+    the cost (no RNG, behaviour models or CFG walk). *)

@@ -1,0 +1,34 @@
+(* Shared qcheck plumbing for the test runners: one process-wide
+   generator seed, taken from QCHECK_SEED when reproducing a failure
+   and self-chosen otherwise. Every property failure prints the seed
+   so the exact run can be replayed with
+
+     QCHECK_SEED=<n> dune runtest *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "QCHECK_SEED=%S is not an integer\n" s;
+          exit 2)
+  | None ->
+      Random.self_init ();
+      Random.int 0x3FFFFFFF
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf
+          "[qcheck] %S failed; rerun with QCHECK_SEED=%d dune runtest\n%!"
+          name seed;
+        raise e )
+
+let all tests = List.map to_alcotest tests

@@ -131,7 +131,7 @@ let test_default_jobs () =
   Alcotest.(check int) "clamped low" 1 (C.Engine.default_jobs ());
   C.Engine.set_default_jobs 1
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = Qseed.all tests
 
 let () =
   Alcotest.run "engine"

@@ -340,7 +340,7 @@ let prop_btb_roundtrip =
       F.Btb.insert b ~pc ~target;
       F.Btb.lookup b ~pc = Some target)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = Qseed.all tests
 
 let () =
   Alcotest.run "frontend"

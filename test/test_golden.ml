@@ -1,8 +1,9 @@
 (* Golden-output regression tests: Report.run_to_string at scale 0.05
-   for fig1, tab1 and fig8, pinned against committed expect-files, and
-   required to render identically through every execution path —
-   sequential, parallel, uncached and disk-cached. Regenerate an
-   expect file after an intentional model change with:
+   for fig1, tab1, fig5, fig6, fig8, fig9, tab2, tab3 and fig10,
+   pinned against committed expect-files, and required to render
+   identically through every execution path — sequential, parallel,
+   uncached and disk-cached. Regenerate an expect file after an
+   intentional model change with:
 
      dune exec bin/repro_cli.exe -- experiment ID --scale 0.05 \
        > test/golden/ID.expected *)
@@ -46,7 +47,7 @@ let check_all_paths id () =
          fig8 never consult it and must not pretend to. *)
       let served = (C.Engine.stats ()).cache_hits - hits_before in
       match id with
-      | C.Experiment.Fig1 | C.Experiment.Tab1 ->
+      | C.Experiment.Fig1 | C.Experiment.Tab1 | C.Experiment.Fig10 ->
           Alcotest.(check bool) "warm run served from disk" true (served > 0)
       | _ -> Alcotest.(check int) "no cache traffic" 0 served)
 
@@ -57,4 +58,5 @@ let () =
          (fun id ->
            Alcotest.test_case (C.Experiment.to_string id) `Slow
              (check_all_paths id))
-         [ C.Experiment.Fig1; C.Experiment.Tab1; C.Experiment.Fig8 ]) ]
+         C.Experiment.
+           [ Fig1; Tab1; Fig5; Fig6; Fig8; Fig9; Tab2; Tab3; Fig10 ]) ]

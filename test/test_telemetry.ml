@@ -180,7 +180,7 @@ let qcheck_output_identical_with_telemetry =
       T.set_enabled false;
       String.equal off on)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = Qseed.all tests
 
 let () =
   Alcotest.run "telemetry"

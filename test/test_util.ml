@@ -303,7 +303,7 @@ let prop_json_string_roundtrip =
       | Ok (Json.Str s') -> String.equal s s'
       | Ok _ | Error _ -> false)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = Qseed.all tests
 
 let () =
   Alcotest.run "util"

@@ -404,7 +404,7 @@ let prop_executor_sections_tagged =
           if i.Inst.size < 1 || i.Inst.size > 14 then ok := false);
       !ok)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = Qseed.all tests
 
 (* ------------------------------------------------------------------ *)
 (* Calibration regression net: every benchmark's measured steady-state
