@@ -37,10 +37,12 @@ bench-json: build
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
 
 # Full CI gate: build everything, run the whole test suite (golden,
-# qcheck differential and packed-replay identity tests included), then
-# regenerate BENCH_results.json over the trace-sweep figures — whose
-# entries carry the stream-vs-replay probe (stream_ms / replay_ms /
-# sweep_speedup) — and validate the emitted schema.
+# qcheck differential, packed-replay and fused-sweep identity tests
+# included), then regenerate BENCH_results.json over the trace-sweep
+# figures — whose entries carry the stream-vs-replay probe (stream_ms
+# / replay_ms / sweep_speedup) and the fused-kernel probe (unfused_ms
+# / fused_ms / fused_speedup) — and validate the emitted schema (v3);
+# the check fails if any sweep's fused_speedup drops below 1.0.
 ci: build
 	$(DUNE) runtest
 	rm -f BENCH_results.json

@@ -14,6 +14,9 @@
      dune exec bench/main.exe -- --no-packed  disable packed-trace
                                               capture/replay (stream
                                               every trace afresh)
+     dune exec bench/main.exe -- --no-fused   disable the fused sweep
+                                              kernels (one simulator
+                                              per configuration)
      dune exec bench/main.exe -- fig8 --json BENCH_results.json
                                               also write per-experiment
                                               wall time, instr/s, cache
@@ -50,6 +53,8 @@ type measurement = {
   m_par_ms : float option; (* uncached -jN probe, jobs > 1 only *)
   m_stream_ms : float option; (* streaming sweep probe, figs 5-9 only *)
   m_replay_ms : float option; (* packed-replay sweep probe, figs 5-9 only *)
+  m_unfused_ms : float option; (* per-config sweep probe, figs 5-9 only *)
+  m_fused_ms : float option; (* fused-kernel sweep probe, figs 5-9 only *)
 }
 
 let ms_since t0 = Int64.to_float (Int64.sub (T.now_ns ()) t0) /. 1e6
@@ -112,6 +117,35 @@ let sweep_probe id =
         (Some stream, Some replay))
   end
 
+(* Fused-kernel probe for the trace-simulating experiments: the same
+   sweep with the fused multi-configuration kernels disabled (one
+   simulator per configuration over a shared replay) against the
+   fused default. Both timed runs replay warm packed captures over a
+   warm memo, so the ratio isolates the sweep kernel itself. *)
+let fused_probe id =
+  if not (is_trace_sim id) then (None, None)
+  else begin
+    let was_cache = Repro_core.Cache.enabled () in
+    let was_fused = Repro_core.Experiment.fused_enabled () in
+    Repro_core.Cache.set_enabled false;
+    Fun.protect
+      ~finally:(fun () ->
+        Repro_core.Cache.set_enabled was_cache;
+        Repro_core.Experiment.set_fused was_fused)
+      (fun () ->
+        let timed () =
+          let t0 = T.now_ns () in
+          ignore (Repro_core.Report.run_to_string ~scale ~jobs:1 id);
+          ms_since t0
+        in
+        ignore (timed ()) (* warm the packed-capture memo *);
+        Repro_core.Experiment.set_fused false;
+        let unfused = timed () in
+        Repro_core.Experiment.set_fused true;
+        let fused = timed () in
+        (Some unfused, Some fused))
+  end
+
 let run_experiment ~jobs ~measure id =
   let stats0 = Repro_core.Engine.stats () in
   let insts0 = T.counter "experiment.sim_insts" in
@@ -130,6 +164,7 @@ let run_experiment ~jobs ~measure id =
     let stats1 = Repro_core.Engine.stats () in
     let seq_ms, par_ms = speedup_probe ~jobs id in
     let stream_ms, replay_ms = sweep_probe id in
+    let unfused_ms, fused_ms = fused_probe id in
     Some
       { m_id = Repro_core.Experiment.to_string id;
         m_wall_ms = wall_ms;
@@ -139,7 +174,9 @@ let run_experiment ~jobs ~measure id =
         m_seq_ms = seq_ms;
         m_par_ms = par_ms;
         m_stream_ms = stream_ms;
-        m_replay_ms = replay_ms }
+        m_replay_ms = replay_ms;
+        m_unfused_ms = unfused_ms;
+        m_fused_ms = fused_ms }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -175,12 +212,18 @@ let measurement_json ~jobs m =
       ( "sweep_speedup",
         match (m.m_stream_ms, m.m_replay_ms) with
         | Some s, Some r when r > 0.0 -> J.Num (s /. r)
+        | _ -> J.Null );
+      ("unfused_ms", opt m.m_unfused_ms);
+      ("fused_ms", opt m.m_fused_ms);
+      ( "fused_speedup",
+        match (m.m_unfused_ms, m.m_fused_ms) with
+        | Some u, Some f when f > 0.0 -> J.Num (u /. f)
         | _ -> J.Null ) ]
 
 let emit_json ~jobs path rows =
   let doc =
     J.Obj
-      [ ("schema_version", J.Num 2.0);
+      [ ("schema_version", J.Num 3.0);
         ("scale", J.Num scale);
         ("jobs", J.Num (float_of_int jobs));
         ("packed", J.Bool (Repro_core.Experiment.packed_enabled ()));
@@ -215,25 +258,40 @@ let check_json path =
         | Some _ -> fail "field %S is not a number" name
         | None -> fail "field %S missing" name
       in
+      (match J.member "schema_version" doc with
+      | Some (J.Num v) when v = 3.0 -> ()
+      | Some (J.Num v) -> fail "schema_version %g (want 3)" v
+      | Some _ -> fail "schema_version is not a number"
+      | None -> fail "top-level \"schema_version\" missing");
       match J.member "experiments" doc with
       | Some (J.Arr rows) ->
           List.iter
             (fun row ->
-              (match J.member "id" row with
-              | Some (J.Str _) -> ()
-              | _ -> fail "experiment entry without a string \"id\"");
+              let id =
+                match J.member "id" row with
+                | Some (J.Str id) -> id
+                | _ -> fail "experiment entry without a string \"id\""
+              in
               List.iter (num row)
                 [ "wall_ms"; "sim_insts"; "instr_per_s"; "jobs";
                   "cache_hits"; "cache_misses"; "cache_hit_rate" ];
-              (* Schema-2 probe fields: null for experiments the probe
-                 does not apply to, numbers otherwise. *)
+              (* Probe fields: null for experiments the probe does not
+                 apply to, numbers otherwise. *)
               List.iter
                 (fun name ->
                   match J.member name row with
                   | None | Some (J.Num _ | J.Null) -> ()
                   | Some _ -> fail "field %S is neither number nor null" name)
                 [ "seq_ms"; "par_ms"; "speedup_vs_j1"; "stream_ms";
-                  "replay_ms"; "sweep_speedup" ])
+                  "replay_ms"; "sweep_speedup"; "unfused_ms"; "fused_ms";
+                  "fused_speedup" ];
+              (* Perf gate: the fused kernels must never lose to the
+                 per-config simulators they replace. *)
+              match J.member "fused_speedup" row with
+              | Some (J.Num v) when v < 1.0 ->
+                  fail "%s: fused_speedup %.2f < 1.0 (fused kernels slower \
+                        than unfused)" id v
+              | _ -> ())
             rows;
           Printf.printf "%s: ok (%d experiment%s)\n" path (List.length rows)
             (if List.length rows = 1 then "" else "s")
@@ -371,7 +429,8 @@ let valid_ids () =
     (List.map Repro_core.Experiment.to_string Repro_core.Experiment.all)
 
 (* Strip [-j N] / [--jobs N], [--no-cache], [--no-packed],
-   [--json FILE] and [--check-json FILE] out of the argument list,
+   [--no-fused], [--json FILE] and [--check-json FILE] out of the
+   argument list,
    returning (jobs, json output file, file to validate, remaining
    args). *)
 let parse_flags args =
@@ -393,6 +452,9 @@ let parse_flags args =
         go jobs acc rest
     | "--no-packed" :: rest ->
         Repro_core.Experiment.set_packed false;
+        go jobs acc rest
+    | "--no-fused" :: rest ->
+        Repro_core.Experiment.set_fused false;
         go jobs acc rest
     | "--json" :: file :: rest when file <> "" ->
         json := Some file;

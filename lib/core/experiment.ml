@@ -131,27 +131,63 @@ let evaluate_cmps scale (p : W.Profile.t) =
    REPRO_PACKED=0 disables capture entirely and REPRO_PACKED_CACHE=1
    additionally persists captures through {!Cache}. *)
 
-let env_false v =
-  match Sys.getenv_opt v with
-  | Some ("0" | "false" | "no") -> true
-  | _ -> false
+(* Environment toggles are re-read on use (tests flip them with
+   [putenv]) but validated with a warning only once per variable,
+   mirroring Engine's REPRO_JOBS handling: a malformed value warns on
+   stderr with the accepted forms and falls back to the default
+   instead of being silently ignored. *)
+let env_flag_warned : (string, unit) Hashtbl.t = Hashtbl.create 4
 
-let env_true v =
-  match Sys.getenv_opt v with
+let env_flag name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some ("0" | "false" | "no") -> false
   | Some ("1" | "true" | "yes") -> true
-  | _ -> false
+  | Some s ->
+      locked (fun () ->
+          if not (Hashtbl.mem env_flag_warned name) then begin
+            Hashtbl.add env_flag_warned name ();
+            Printf.eprintf
+              "frontend-repro: ignoring invalid %s=%S (want 0/false/no or \
+               1/true/yes); using the default (%s)\n%!"
+              name s
+              (if default then "enabled" else "disabled")
+          end);
+      default
 
-let packed_flag = ref (not (env_false "REPRO_PACKED"))
-let set_packed b = packed_flag := b
-let packed_enabled () = !packed_flag
+let packed_override = ref None
+let set_packed b = packed_override := Some b
+
+let packed_enabled () =
+  match !packed_override with
+  | Some b -> b
+  | None -> env_flag "REPRO_PACKED" ~default:true
+
+let packed_cache () = env_flag "REPRO_PACKED_CACHE" ~default:false
+
+let fused_override = ref None
+let set_fused b = fused_override := Some b
+
+let fused_enabled () =
+  match !fused_override with
+  | Some b -> b
+  | None -> env_flag "REPRO_FUSED" ~default:true
 
 let packed_budget_bytes =
-  let mb =
-    match Sys.getenv_opt "REPRO_PACKED_MB" with
-    | Some s -> ( try max 1 (int_of_string s) with Failure _ -> 512)
-    | None -> 512
-  in
-  mb * 1024 * 1024
+  lazy
+    ((match Sys.getenv_opt "REPRO_PACKED_MB" with
+     | None -> 512
+     | Some s -> (
+         match int_of_string_opt s with
+         | Some mb when mb >= 1 -> mb
+         | Some _ | None ->
+             Printf.eprintf
+               "frontend-repro: ignoring invalid REPRO_PACKED_MB=%S (want a \
+                positive integer number of megabytes, e.g. 1..4096); using \
+                the default 512\n%!"
+               s;
+             512))
+    * 1024 * 1024)
 
 type packed_entry = {
   pt : Repro_isa.Packed_trace.t;
@@ -170,7 +206,8 @@ let packed_clock = ref 0
 let evict_packed ~keep =
   let continue_ = ref true in
   while
-    !continue_ && !packed_bytes > packed_budget_bytes
+    !continue_
+    && !packed_bytes > Lazy.force packed_budget_bytes
     && Hashtbl.length packed_traces > 1
   do
     let victim =
@@ -209,7 +246,7 @@ let packed_trace scale (p : W.Profile.t) =
   | Some pt -> pt
   | None ->
       let pt =
-        if env_true "REPRO_PACKED_CACHE" then
+        if packed_cache () then
           Cache.memoize (Cache.key ~profile:p ~scale ~kind:"ptrace") (fun () ->
               capture scale p)
         else capture scale p
@@ -249,6 +286,63 @@ let source scale (p : W.Profile.t) =
 let serial = A.Branch_mix.Only Repro_isa.Section.Serial
 let parallel = A.Branch_mix.Only Repro_isa.Section.Parallel
 let total = A.Branch_mix.Total
+
+(* Sweep sharding for the fused kernels. When the Engine pool has
+   more domains than there are benchmarks to shard over, the fused
+   sweep's configuration axis is split into contiguous ranges and
+   each (benchmark, range) pair becomes one task, so [-jN] keeps
+   helping inside a single benchmark. Slicing never changes results:
+   every quantity a sweep kernel shares across configurations
+   (history register, line spans, set/tag decomposition) is a
+   function of the instruction stream alone, so each range replays
+   to exactly the state a whole-sweep run would give its slice
+   (pinned in test_sweep.ml). [run_range p lo hi] must return the
+   per-config results for configs [lo, hi). *)
+let sweep_map ~jobs profiles nconfigs run_range =
+  let nbench = List.length profiles in
+  let groups = max 1 (min nconfigs (jobs / max 1 nbench)) in
+  if groups = 1 then Engine.map ~jobs (fun p -> run_range p 0 nconfigs) profiles
+  else begin
+    let ranges =
+      List.init groups (fun g ->
+          (g * nconfigs / groups, (g + 1) * nconfigs / groups))
+    in
+    let tasks =
+      List.concat_map (fun p -> List.map (fun r -> (p, r)) ranges) profiles
+    in
+    let parts =
+      Engine.map ~jobs (fun (p, (lo, hi)) -> run_range p lo hi) tasks
+    in
+    (* Reassemble: tasks were emitted benchmark-major with ranges in
+       ascending order, so consecutive runs of [groups] parts belong
+       to one benchmark. *)
+    let rec stitch = function
+      | [] -> []
+      | parts ->
+          let rec take n l acc =
+            if n = 0 then (List.rev acc, l)
+            else
+              match l with
+              | x :: tl -> take (n - 1) tl (x :: acc)
+              | [] -> invalid_arg "sweep_map: uneven parts"
+          in
+          let mine, rest = take groups parts [] in
+          Array.concat mine :: stitch rest
+    in
+    stitch parts
+  end
+
+(* Mean of column [i] across per-benchmark result rows, skipping
+   benchmarks where the metric is undefined. *)
+let mean_at per_bench i =
+  let values =
+    List.filter_map
+      (fun row ->
+        let v = row.(i) in
+        if Float.is_nan v then None else Some v)
+      per_bench
+  in
+  Repro_util.Stats.mean values
 
 let suite_results scale suite =
   List.map (characterize scale) (W.Suites.by_suite suite)
@@ -476,27 +570,29 @@ let fig4 scale =
 
 let fig5_suite_mpki ~jobs scale suite =
   let profiles = W.Suites.by_suite suite in
+  let names = Array.of_list F.Zoo.all_names in
   let per_bench =
-    Engine.map ~jobs
-      (fun (p : W.Profile.t) ->
-        let sims =
-          List.map (fun n -> A.Bp_sim.create (F.Zoo.by_name n)) F.Zoo.all_names
-        in
-        A.Bp_sim.run_all (source scale p) sims;
-        sims)
-      profiles
+    if fused_enabled () then
+      sweep_map ~jobs profiles (Array.length names) (fun p lo hi ->
+          let specs =
+            Array.init (hi - lo) (fun i -> A.Bp_sweep.of_name names.(lo + i))
+          in
+          Array.map
+            (fun r -> A.Bp_sweep.mpki r total)
+            (A.Bp_sweep.run (source scale p) specs))
+    else
+      Engine.map ~jobs
+        (fun (p : W.Profile.t) ->
+          let sims =
+            List.map
+              (fun n -> A.Bp_sim.create (F.Zoo.by_name n))
+              F.Zoo.all_names
+          in
+          A.Bp_sim.run_all (source scale p) sims;
+          Array.of_list (List.map (fun s -> A.Bp_sim.mpki s total) sims))
+        profiles
   in
-  List.mapi
-    (fun i name ->
-      let values =
-        List.filter_map
-          (fun sims ->
-            let v = A.Bp_sim.mpki (List.nth sims i) total in
-            if Float.is_nan v then None else Some v)
-          per_bench
-      in
-      (name, Repro_util.Stats.mean values))
-    F.Zoo.all_names
+  List.mapi (fun i name -> (name, mean_at per_bench i)) F.Zoo.all_names
 
 let fig5 ~jobs scale =
   let t =
@@ -532,11 +628,7 @@ let fig5 ~jobs scale =
 (* Fig 6 *)
 
 let fig6 ~jobs scale =
-  let configs =
-    [ ("gshare-big", fun () -> F.Zoo.gshare_big ());
-      ("gshare-small", fun () -> F.Zoo.gshare_small ());
-      ("L-gshare-small", fun () -> F.Zoo.with_loop (F.Zoo.gshare_small ())) ]
-  in
+  let configs = [ "gshare-big"; "gshare-small"; "L-gshare-small" ] in
   let t =
     Table.create
       ~title:
@@ -544,7 +636,7 @@ let fig6 ~jobs scale =
          taken-backward / taken-forward)"
       ([ ("benchmark", Table.Left) ]
       @ List.concat_map
-          (fun (n, _) ->
+          (fun n ->
             [ (n ^ " nt", Table.Right); (n ^ " tb", Table.Right);
               (n ^ " tf", Table.Right) ])
           configs)
@@ -553,15 +645,31 @@ let fig6 ~jobs scale =
     Engine.map ~jobs
       (fun name ->
         let p = W.Suites.find name in
-        let sims = List.map (fun (_, mk) -> A.Bp_sim.create (mk ())) configs in
-        A.Bp_sim.run_all (source scale p) sims;
-        name
-        :: List.concat_map
-             (fun sim ->
-               List.map
-                 (fun cause -> f2 (A.Bp_sim.mpki_by_cause sim total cause))
-                 A.Bp_sim.causes)
-             sims)
+        let cells =
+          if fused_enabled () then
+            let specs =
+              Array.of_list (List.map A.Bp_sweep.of_name configs)
+            in
+            A.Bp_sweep.run (source scale p) specs
+            |> Array.to_list
+            |> List.concat_map (fun r ->
+                   List.map
+                     (fun cause -> f2 (A.Bp_sweep.mpki_by_cause r total cause))
+                     A.Bp_sim.causes)
+          else begin
+            let sims =
+              List.map (fun n -> A.Bp_sim.create (F.Zoo.by_name n)) configs
+            in
+            A.Bp_sim.run_all (source scale p) sims;
+            List.concat_map
+              (fun sim ->
+                List.map
+                  (fun cause -> f2 (A.Bp_sim.mpki_by_cause sim total cause))
+                  A.Bp_sim.causes)
+              sims
+          end
+        in
+        name :: cells)
       W.Suites.fig6_subset
   in
   List.iter (Table.add_row t) rows;
@@ -576,6 +684,7 @@ let btb_configs =
     [ 256; 512; 1024 ]
 
 let fig7 ~jobs scale =
+  let configs = Array.of_list btb_configs in
   let t =
     Table.create ~title:"Fig 7: BTB MPKI (entries x associativity)"
       ([ ("suite", Table.Left) ]
@@ -587,30 +696,27 @@ let fig7 ~jobs scale =
     (fun suite ->
       let profiles = W.Suites.by_suite suite in
       let per_bench =
-        Engine.map ~jobs
-          (fun (p : W.Profile.t) ->
-            let sims =
-              List.map
-                (fun (e, a) -> A.Btb_sim.create ~entries:e ~assoc:a)
-                btb_configs
-            in
-            A.Btb_sim.run_all (source scale p) sims;
-            sims)
-          profiles
+        if fused_enabled () then
+          sweep_map ~jobs profiles (Array.length configs) (fun p lo hi ->
+              Array.map
+                (fun r -> A.Btb_sweep.mpki r total)
+                (A.Btb_sweep.run (source scale p)
+                   (Array.sub configs lo (hi - lo))))
+        else
+          Engine.map ~jobs
+            (fun (p : W.Profile.t) ->
+              let sims =
+                List.map
+                  (fun (e, a) -> A.Btb_sim.create ~entries:e ~assoc:a)
+                  btb_configs
+              in
+              A.Btb_sim.run_all (source scale p) sims;
+              Array.of_list (List.map (fun s -> A.Btb_sim.mpki s total) sims))
+            profiles
       in
       Table.add_row t
         (Suite.to_string suite
-        :: List.mapi
-             (fun i _ ->
-               let values =
-                 List.filter_map
-                   (fun sims ->
-                     let v = A.Btb_sim.mpki (List.nth sims i) total in
-                     if Float.is_nan v then None else Some v)
-                   per_bench
-               in
-               f2 (Repro_util.Stats.mean values))
-             btb_configs))
+        :: List.mapi (fun i _ -> f2 (mean_at per_bench i)) btb_configs))
     Suite.all;
   [ t ]
 
@@ -626,45 +732,40 @@ let icache_table ~jobs ~title ~configs ~benchmarks scale per_suite =
             (Printf.sprintf "%dK/%dB/%dw" (s / 1024) l a, Table.Right))
           configs)
   in
-  let run_one (p : W.Profile.t) =
-    let sims =
-      List.map
-        (fun (s, l, a) ->
-          A.Icache_sim.create ~size_bytes:s ~line_bytes:l ~assoc:a ())
-        configs
-    in
-    A.Icache_sim.run_all (source scale p) sims;
-    sims
+  let carr = Array.of_list configs in
+  let mpki_rows profiles =
+    if fused_enabled () then
+      sweep_map ~jobs profiles (Array.length carr) (fun p lo hi ->
+          Array.map
+            (fun r -> A.Icache_sweep.mpki r total)
+            (A.Icache_sweep.run (source scale p) (Array.sub carr lo (hi - lo))))
+    else
+      Engine.map ~jobs
+        (fun (p : W.Profile.t) ->
+          let sims =
+            List.map
+              (fun (s, l, a) ->
+                A.Icache_sim.create ~size_bytes:s ~line_bytes:l ~assoc:a ())
+              configs
+          in
+          A.Icache_sim.run_all (source scale p) sims;
+          Array.of_list (List.map (fun s -> A.Icache_sim.mpki s total) sims))
+        profiles
   in
   if per_suite then
     List.iter
       (fun suite ->
-        let per_bench = Engine.map ~jobs run_one (W.Suites.by_suite suite) in
+        let per_bench = mpki_rows (W.Suites.by_suite suite) in
         Table.add_row t
           (Suite.to_string suite
-          :: List.mapi
-               (fun i _ ->
-                 let values =
-                   List.filter_map
-                     (fun sims ->
-                       let v = A.Icache_sim.mpki (List.nth sims i) total in
-                       if Float.is_nan v then None else Some v)
-                     per_bench
-                 in
-                 f2 (Repro_util.Stats.mean values))
-               configs))
+          :: List.mapi (fun i _ -> f2 (mean_at per_bench i)) configs))
       Suite.all
   else begin
-    let per_bench =
-      Engine.map ~jobs
-        (fun name -> (name, run_one (W.Suites.find name)))
-        benchmarks
-    in
-    List.iter
-      (fun (name, sims) ->
-        Table.add_row t
-          (name :: List.map (fun s -> f2 (A.Icache_sim.mpki s total)) sims))
-      per_bench
+    let rows = mpki_rows (List.map W.Suites.find benchmarks) in
+    List.iter2
+      (fun name row ->
+        Table.add_row t (name :: Array.to_list (Array.map f2 row)))
+      benchmarks rows
   end;
   t
 

@@ -59,3 +59,17 @@ val set_packed : bool -> unit
     captures through {!Cache}. Results are identical either way. *)
 
 val packed_enabled : unit -> bool
+
+val set_fused : bool -> unit
+(** Enable or disable the fused sweep kernels
+    ({!Repro_analysis.Bp_sweep}, {!Repro_analysis.Btb_sweep},
+    {!Repro_analysis.Icache_sweep}) for the configuration sweeps of
+    figs 5-9. When enabled (the default unless [REPRO_FUSED=0]),
+    every hardware configuration of a sweep is simulated in one pass
+    over each benchmark's stream, with stream-derived state (history
+    register, line spans, set/tag splits) computed once and shared;
+    when there are more Engine domains than benchmarks, the
+    configuration axis is additionally sharded across domains.
+    Results are bit-identical either way. *)
+
+val fused_enabled : unit -> bool

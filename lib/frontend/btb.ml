@@ -4,6 +4,7 @@ type way = { mutable tag : int; mutable target : int; mutable lru : int }
 type t = {
   sets : int;
   assoc : int;
+  set_shift : int; (* log2 sets: (pc lsr 1) -> tag *)
   ways : way array array;
   mutable clock : int;
 }
@@ -16,6 +17,7 @@ let create ~entries ~assoc =
   let sets = entries / assoc in
   { sets;
     assoc;
+    set_shift = Repro_util.Units.log2 sets;
     ways =
       Array.init sets (fun _ ->
           Array.init assoc (fun _ -> { tag = -1; target = 0; lru = 0 }));
@@ -23,21 +25,21 @@ let create ~entries ~assoc =
 
 let entries t = t.sets * t.assoc
 let assoc t = t.assoc
+let sets t = t.sets
 
-let set_of t pc = (pc lsr 1) land (t.sets - 1)
+let set_of t ~pc = (pc lsr 1) land (t.sets - 1)
 (* lsr is right-associative: without the parentheses this would
    compute [pc lsr (1 lsr log2 sets)] = [pc] for any multi-set
    geometry, silently widening the tag by the set-index bits the
    storage accounting below assumes are dropped. *)
-let tag_of t pc = (pc lsr 1) lsr Repro_util.Units.log2 t.sets
+let tag_of t ~pc = (pc lsr 1) lsr t.set_shift
 
 let touch t way =
   t.clock <- t.clock + 1;
   way.lru <- t.clock
 
-let lookup t ~pc =
-  let set = t.ways.(set_of t pc) in
-  let tag = tag_of t pc in
+let lookup_at t ~set ~tag =
+  let set = t.ways.(set) in
   let rec go i =
     if i = t.assoc then None
     else if set.(i).tag = tag then begin
@@ -48,9 +50,10 @@ let lookup t ~pc =
   in
   go 0
 
-let insert t ~pc ~target =
-  let set = t.ways.(set_of t pc) in
-  let tag = tag_of t pc in
+let lookup t ~pc = lookup_at t ~set:(set_of t ~pc) ~tag:(tag_of t ~pc)
+
+let insert_at t ~set ~tag ~target =
+  let set = t.ways.(set) in
   let rec find i = if i = t.assoc then None
     else if set.(i).tag = tag then Some set.(i) else find (i + 1)
   in
@@ -67,8 +70,11 @@ let insert t ~pc ~target =
   way.target <- target;
   touch t way
 
+let insert t ~pc ~target =
+  insert_at t ~set:(set_of t ~pc) ~tag:(tag_of t ~pc) ~target
+
 (* 48-bit VA: tag bits + target payload (compressed to 32 bits as in
    real BTBs) + LRU bits. *)
 let storage_bits t =
-  let tag_bits = 48 - 1 - Repro_util.Units.log2 t.sets in
+  let tag_bits = 48 - 1 - t.set_shift in
   entries t * (tag_bits + 32 + Repro_util.Units.log2 (max 2 t.assoc))

@@ -1,10 +1,8 @@
-type way = {
-  mutable tag : int; (* -1 invalid *)
-  mutable lru : int;
-  mutable touched : int; (* bitmask of consumed 4-byte granules *)
-  mutable prefetched : bool; (* filled by the prefetcher, not yet used *)
-}
-
+(* Way state lives in flat structure-of-arrays storage, indexed by
+   [set * assoc + way]: the simulators hit [access] tens of millions
+   of times per sweep, and chasing a per-way record through two array
+   indirections dominated the fused-kernel profile. [tags.(i) = -1]
+   marks an invalid way. *)
 type t = {
   size : int;
   line : int;
@@ -12,7 +10,10 @@ type t = {
   sets : int;
   line_shift : int; (* log2 line: byte address -> line address *)
   set_shift : int; (* log2 sets: line address -> tag *)
-  ways : way array array;
+  tags : int array; (* sets * assoc; -1 invalid *)
+  lru : int array;
+  touched : int array; (* bitmask of consumed 4-byte granules *)
+  prefetched : Bytes.t; (* '\001' = filled by the prefetcher *)
   granules : int;
   prefetch : bool;
   mutable clock : int;
@@ -23,7 +24,7 @@ type t = {
   mutable useful_sum : float; (* accumulated usefulness of evicted lines *)
   mutable filled : int; (* lines ever filled *)
   mutable cc_line : int; (* line of the most recent lookup; -1 = none *)
-  mutable cc_way : way; (* its way — valid only while the tag matches *)
+  mutable cc_idx : int; (* its flat way index — valid only while the tag matches *)
 }
 
 let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
@@ -41,10 +42,10 @@ let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
     sets;
     line_shift = Repro_util.Units.log2 line_bytes;
     set_shift = Repro_util.Units.log2 sets;
-    ways =
-      Array.init sets (fun _ ->
-          Array.init assoc (fun _ ->
-              { tag = -1; lru = 0; touched = 0; prefetched = false }));
+    tags = Array.make lines (-1);
+    lru = Array.make lines 0;
+    touched = Array.make lines 0;
+    prefetched = Bytes.make lines '\000';
     granules = line_bytes / 4;
     prefetch = next_line_prefetch;
     clock = 0;
@@ -55,7 +56,7 @@ let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
     useful_sum = 0.0;
     filled = 0;
     cc_line = -1;
-    cc_way = { tag = -1; lru = 0; touched = 0; prefetched = false } }
+    cc_idx = -1 }
 
 let size_bytes t = t.size
 let line_bytes t = t.line
@@ -65,123 +66,152 @@ let popcount x =
   let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
   go 0 x
 
-let line_usefulness t way =
-  float_of_int (popcount way.touched) /. float_of_int t.granules
+let way_usefulness t i =
+  float_of_int (popcount t.touched.(i)) /. float_of_int t.granules
 
-let touch_clock t way =
-  t.clock <- t.clock + 1;
-  way.lru <- t.clock
+(* Granule bitmask of [size] bytes at [offset] within a line; the
+   clamp mirrors the historical per-granule loop's upper bound. *)
+let gmask_of t ~offset ~size =
+  let g0 = offset / 4 and g1 = min ((offset + size - 1) / 4) (t.granules - 1) in
+  ((1 lsl (g1 - g0 + 1)) - 1) lsl g0
 
-let mark t way ~offset ~size =
-  let g0 = offset / 4 and g1 = (offset + size - 1) / 4 in
-  for g = g0 to min g1 (t.granules - 1) do
-    way.touched <- way.touched lor (1 lsl g)
-  done
-
-(* Fill [line_addr] without counting a demand access; used by the
-   next-line prefetcher. Does nothing if already resident. *)
-let rec prefetch_line t line_addr =
-  let set_idx = line_addr land (t.sets - 1) in
-  let tag = line_addr lsr t.set_shift in
-  let set = t.ways.(set_idx) in
-  let rec find i =
-    if i = t.assoc then None
-    else if set.(i).tag = tag then Some set.(i)
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some _ -> ()
-  | None ->
-      let victim = pick_victim t set in
-      if victim.tag <> -1 then
-        t.useful_sum <- t.useful_sum +. line_usefulness t victim;
-      victim.tag <- tag;
-      victim.touched <- 0;
-      victim.prefetched <- true;
-      t.filled <- t.filled + 1;
-      t.prefetches <- t.prefetches + 1;
-      touch_clock t victim
-
-and pick_victim t set =
-  let best = ref set.(0) in
-  for i = 1 to t.assoc - 1 do
-    if !best.tag <> -1 && (set.(i).tag = -1 || set.(i).lru < !best.lru) then
-      best := set.(i)
+(* First invalid way wins, else least-recently-used; ties keep the
+   lowest way index. *)
+let pick_victim t base =
+  let best = ref base in
+  for i = base + 1 to base + t.assoc - 1 do
+    if Array.unsafe_get t.tags !best <> -1
+       && (Array.unsafe_get t.tags i = -1
+           || Array.unsafe_get t.lru i < Array.unsafe_get t.lru !best) then
+      best := i
   done;
   !best
 
-let access_line t line_addr ~offset ~size =
-  let set_idx = line_addr land (t.sets - 1) in
+let rec find_way t base tag i =
+  if i = t.assoc then -1
+  else if Array.unsafe_get t.tags (base + i) = tag then base + i
+  else find_way t base tag (i + 1)
+
+(* Fill [line_addr] without counting a demand access; used by the
+   next-line prefetcher. Does nothing if already resident. *)
+let prefetch_line t line_addr =
+  let base = (line_addr land (t.sets - 1)) * t.assoc in
   let tag = line_addr lsr t.set_shift in
-  let set = t.ways.(set_idx) in
+  if find_way t base tag 0 = -1 then begin
+    let victim = pick_victim t base in
+    if t.tags.(victim) <> -1 then
+      t.useful_sum <- t.useful_sum +. way_usefulness t victim;
+    t.tags.(victim) <- tag;
+    t.touched.(victim) <- 0;
+    Bytes.unsafe_set t.prefetched victim '\001';
+    t.filled <- t.filled + 1;
+    t.prefetches <- t.prefetches + 1;
+    t.clock <- t.clock + 1;
+    t.lru.(victim) <- t.clock
+  end
+
+let rec access_line t ~line ~gmask =
+  if line = t.cc_line
+     && Array.unsafe_get t.tags t.cc_idx = line lsr t.set_shift then begin
+    (* Re-accessing the line of the most recent lookup, whose way
+       still holds the tag: nothing but consumes can have run since
+       (any access moves [cc]; prefetches only fire inside one), so
+       the way is resident with its prefetched flag already cleared —
+       skip the way search. *)
+    t.accesses <- t.accesses + 1;
+    t.clock <- t.clock + 1;
+    Array.unsafe_set t.lru t.cc_idx t.clock;
+    Array.unsafe_set t.touched t.cc_idx
+      (Array.unsafe_get t.touched t.cc_idx lor gmask);
+    true
+  end
+  else access_line_slow t ~line ~gmask
+
+and access_line_slow t ~line ~gmask =
+  let base = (line land (t.sets - 1)) * t.assoc in
+  let tag = line lsr t.set_shift in
   t.accesses <- t.accesses + 1;
-  let rec find i =
-    if i = t.assoc then None
-    else if set.(i).tag = tag then Some set.(i)
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some way ->
-      if way.prefetched then begin
-        way.prefetched <- false;
-        t.useful_prefetches <- t.useful_prefetches + 1
-      end;
-      touch_clock t way;
-      mark t way ~offset ~size;
-      t.cc_line <- line_addr;
-      t.cc_way <- way;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      let victim = pick_victim t set in
-      if victim.tag <> -1 then
-        t.useful_sum <- t.useful_sum +. line_usefulness t victim;
-      victim.tag <- tag;
-      victim.touched <- 0;
-      victim.prefetched <- false;
-      t.filled <- t.filled + 1;
-      touch_clock t victim;
-      mark t victim ~offset ~size;
-      t.cc_line <- line_addr;
-      t.cc_way <- victim;
-      if t.prefetch then prefetch_line t (line_addr + 1);
-      false
+  let i = find_way t base tag 0 in
+  if i >= 0 then begin
+    if Bytes.unsafe_get t.prefetched i <> '\000' then begin
+      Bytes.unsafe_set t.prefetched i '\000';
+      t.useful_prefetches <- t.useful_prefetches + 1
+    end;
+    t.clock <- t.clock + 1;
+    Array.unsafe_set t.lru i t.clock;
+    Array.unsafe_set t.touched i (Array.unsafe_get t.touched i lor gmask);
+    t.cc_line <- line;
+    t.cc_idx <- i;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let victim = pick_victim t base in
+    if Array.unsafe_get t.tags victim <> -1 then
+      t.useful_sum <- t.useful_sum +. way_usefulness t victim;
+    Array.unsafe_set t.tags victim tag;
+    Array.unsafe_set t.touched victim gmask;
+    Bytes.unsafe_set t.prefetched victim '\000';
+    t.filled <- t.filled + 1;
+    t.clock <- t.clock + 1;
+    Array.unsafe_set t.lru victim t.clock;
+    t.cc_line <- line;
+    t.cc_idx <- victim;
+    if t.prefetch then prefetch_line t (line + 1);
+    false
+  end
 
 let access t ~addr ~size =
   assert (size > 0);
   let first_line = addr lsr t.line_shift
   and last_line = (addr + size - 1) lsr t.line_shift in
-  let hit = ref true in
-  for line = first_line to last_line do
-    let base = line lsl t.line_shift in
-    let lo = max addr base in
-    let hi = min (addr + size) (base + t.line) in
-    let ok = access_line t line ~offset:(lo - base) ~size:(hi - lo) in
-    if not ok then hit := false
-  done;
-  !hit
+  if first_line = last_line then
+    access_line t ~line:first_line
+      ~gmask:(gmask_of t ~offset:(addr land (t.line - 1)) ~size)
+  else begin
+    let hit = ref true in
+    for line = first_line to last_line do
+      let base = line lsl t.line_shift in
+      let lo = max addr base in
+      let hi = min (addr + size) (base + t.line) in
+      let gmask = gmask_of t ~offset:(lo - base) ~size:(hi - lo) in
+      if not (access_line t ~line ~gmask) then hit := false
+    done;
+    !hit
+  end
+
+(* One-line consume with the granule mask precomputed by the caller:
+   the [consume] fast path minus the per-cache offset arithmetic.
+   Fused sweeps compute the mask once per line size and replay it
+   into every same-line-size configuration. *)
+let consume_line t ~line ~gmask =
+  if line = t.cc_line && Array.unsafe_get t.tags t.cc_idx = line lsr t.set_shift
+  then
+    Array.unsafe_set t.touched t.cc_idx
+      (Array.unsafe_get t.touched t.cc_idx lor gmask)
+  else begin
+    let base = (line land (t.sets - 1)) * t.assoc in
+    let tag = line lsr t.set_shift in
+    for i = base to base + t.assoc - 1 do
+      if Array.unsafe_get t.tags i = tag then
+        Array.unsafe_set t.touched i (Array.unsafe_get t.touched i lor gmask)
+    done
+  end
 
 let consume t ~addr ~size =
   assert (size > 0);
   let first_line = addr lsr t.line_shift
   and last_line = (addr + size - 1) lsr t.line_shift in
-  if first_line = last_line && first_line = t.cc_line
-     && t.cc_way.tag = first_line lsr t.set_shift then
-    (* Fast path: consuming from the line the last lookup resolved, and
-       its way still holds that tag (tags are unique within a set). *)
-    mark t t.cc_way ~offset:(addr land (t.line - 1)) ~size
+  if first_line = last_line then
+    consume_line t ~line:first_line
+      ~gmask:(gmask_of t ~offset:(addr land (t.line - 1)) ~size)
   else
     for line = first_line to last_line do
-      let set_idx = line land (t.sets - 1) in
-      let tag = line lsr t.set_shift in
-      let set = t.ways.(set_idx) in
       let base = line lsl t.line_shift in
       let lo = max addr base in
       let hi = min (addr + size) (base + t.line) in
-      Array.iter
-        (fun way ->
-          if way.tag = tag then mark t way ~offset:(lo - base) ~size:(hi - lo))
-        set
+      consume_line t ~line
+        ~gmask:(gmask_of t ~offset:(lo - base) ~size:(hi - lo))
     done
 
 let accesses t = t.accesses
@@ -191,13 +221,13 @@ let usefulness t =
   (* Evicted lines plus a snapshot of currently-resident ones. *)
   let sum = ref t.useful_sum in
   let resident_sum = ref 0.0 and resident_n = ref 0 in
-  Array.iter
-    (Array.iter (fun way ->
-         if way.tag <> -1 then begin
-           resident_sum := !resident_sum +. line_usefulness t way;
-           incr resident_n
-         end))
-    t.ways;
+  Array.iteri
+    (fun i tag ->
+      if tag <> -1 then begin
+        resident_sum := !resident_sum +. way_usefulness t i;
+        incr resident_n
+      end)
+    t.tags;
   let evicted_n = t.filled - !resident_n in
   let total_n = evicted_n + !resident_n in
   if total_n = 0 then nan

@@ -24,10 +24,28 @@ val access : t -> addr:int -> size:int -> bool
     Instructions straddling a line boundary access both lines; the
     result is a hit only if every touched line hits. *)
 
+val access_line : t -> line:int -> gmask:int -> bool
+(** [access] specialized to bytes that lie within the single line
+    [line] (a line address, not a byte address), with the consumed
+    granule bitmask [gmask] precomputed by the caller. Equivalent to
+    [access ~addr ~size] when [addr .. addr+size-1] spans only
+    [line]. Fused sweeps ({!Repro_analysis.Icache_sweep}) compute the
+    line and mask once per line size and probe every configuration
+    sharing that line size with them. *)
+
 val consume : t -> addr:int -> size:int -> unit
 (** Mark bytes as consumed from an already-resident line without
     counting a cache access (sequential extraction within the current
     fetch line). No-op for non-resident lines. *)
+
+val consume_line : t -> line:int -> gmask:int -> unit
+(** [consume] specialized to bytes that lie within the single line
+    [line] (a line address, not a byte address), with the granule
+    bitmask [gmask] precomputed by the caller. Equivalent to
+    [consume ~addr ~size] when [addr .. addr+size-1] spans only
+    [line]; fused sweeps ({!Repro_analysis.Icache_sweep}) compute the
+    mask once per line size and replay it into every configuration
+    sharing that line size. *)
 
 val accesses : t -> int
 (** Number of line-level cache lookups performed so far. *)

@@ -1,5 +1,11 @@
-let gshare_small () = Gshare.pack ~name:"gshare-small" (Gshare.create ~history_bits:13)
-let gshare_big () = Gshare.pack ~name:"gshare-big" (Gshare.create ~history_bits:16)
+let gshare_small_bits = 13
+let gshare_big_bits = 16
+
+let gshare_small () =
+  Gshare.pack ~name:"gshare-small" (Gshare.create ~history_bits:gshare_small_bits)
+
+let gshare_big () =
+  Gshare.pack ~name:"gshare-big" (Gshare.create ~history_bits:gshare_big_bits)
 
 let tournament_small () =
   Tournament.pack ~name:"tournament-small"
@@ -25,32 +31,55 @@ let tage_big () =
 
 let with_loop base = Loop_predictor.combine (Loop_predictor.create ()) base
 
-let base_makers =
-  [ ("gshare-big", gshare_big);
-    ("tournament-big", tournament_big);
-    ("tage-big", tage_big);
-    ("gshare-small", gshare_small);
-    ("tournament-small", tournament_small);
-    ("tage-small", tage_small) ]
+(* Declarative description of each base configuration. The gshare
+   family is exposed by its parameters rather than as an opaque
+   closure so fused sweeps (Repro_analysis.Bp_sweep) can share one
+   global-history register across every gshare table; the other
+   families stay opaque makers. *)
+type core =
+  | Gshare_core of { history_bits : int }
+  | Opaque of (unit -> Predictor.t)
+
+type spec = { loop : bool; core : core }
+
+let base_cores =
+  [ ("gshare-big", Gshare_core { history_bits = gshare_big_bits });
+    ("tournament-big", Opaque tournament_big);
+    ("tage-big", Opaque tage_big);
+    ("gshare-small", Gshare_core { history_bits = gshare_small_bits });
+    ("tournament-small", Opaque tournament_small);
+    ("tage-small", Opaque tage_small) ]
 
 let all_names =
-  List.map fst base_makers
+  List.map fst base_cores
   @ [ "L-gshare-small"; "L-tournament-small"; "L-tage-small" ]
 
 let perceptron () = Perceptron.pack (Perceptron.create ())
 let two_level () = Two_level.pack (Two_level.create ())
 
-let by_name name =
-  match List.assoc_opt name base_makers with
-  | Some mk -> mk ()
+let spec_by_name name =
+  match List.assoc_opt name base_cores with
+  | Some core -> { loop = false; core }
   | None ->
       (match String.index_opt name '-' with
       | Some 1 when String.length name > 2 && name.[0] = 'L' ->
           let base = String.sub name 2 (String.length name - 2) in
-          (match List.assoc_opt base base_makers with
-          | Some mk -> with_loop (mk ())
+          (match List.assoc_opt base base_cores with
+          | Some core -> { loop = true; core }
           | None -> raise Not_found)
       | Some _ | None -> raise Not_found)
+
+let realize_core name = function
+  | Gshare_core { history_bits } -> Gshare.pack ~name (Gshare.create ~history_bits)
+  | Opaque mk -> mk ()
+
+let by_name name =
+  let s = spec_by_name name in
+  let base_name =
+    if s.loop then String.sub name 2 (String.length name - 2) else name
+  in
+  let base = realize_core base_name s.core in
+  if s.loop then with_loop base else base
 
 let extension_makers =
   [ ("perceptron-128", perceptron); ("two-level-10.10", two_level) ]

@@ -33,6 +33,24 @@ val all_names : string list
 val by_name : string -> Predictor.t
 (** Fresh instance from a Fig. 5 name; raises [Not_found] otherwise. *)
 
+(** {1 Configuration specs}
+
+    Declarative description of a Fig. 5 configuration. Predictors
+    whose per-branch state derives from the global stream alone
+    (the gshare family) expose their parameters so fused sweeps
+    ({!Repro_analysis.Bp_sweep}) can share one history register
+    across every table; other families stay opaque makers. *)
+
+type core =
+  | Gshare_core of { history_bits : int }
+  | Opaque of (unit -> Predictor.t)
+
+type spec = { loop : bool  (** wrapped by {!with_loop} *); core : core }
+
+val spec_by_name : string -> spec
+(** Spec for a Fig. 5 name; raises [Not_found] otherwise. [by_name]
+    is [spec_by_name] realized, so the two can never disagree. *)
+
 (** {1 Extension predictors}
 
     Beyond the paper's three families: used by the extension

@@ -164,6 +164,65 @@ let test_sweeps_identical id () =
     (render ~packed:true ~jobs:4 id)
 
 (* ------------------------------------------------------------------ *)
+(* Static branch-prediction engines (Always_taken / Always_not_taken /
+   Btfn) on the packed conditional fast path: Bp_sim.run_all over a
+   capture replays only the conditional branches and absorbs the
+   instruction totals in bulk, and the statics carry no state that
+   warmup could train — the packed counts must equal the streaming
+   counts AND a direct recount over the raw list (warmup excluded). *)
+
+let static_predicts s (i : I.t) =
+  match s with
+  | A.Bp_sim.Always_taken -> true
+  | A.Bp_sim.Always_not_taken -> false
+  | A.Bp_sim.Btfn -> i.target < i.addr
+
+let prop_static_engines =
+  QCheck.Test.make ~name:"static engines: packed == stream == recount"
+    ~count:150 with_chunks (fun (insts, cap) ->
+      let statics = A.Bp_sim.[ Always_taken; Always_not_taken; Btfn ] in
+      let tr = Trace.of_list insts in
+      let pt = P.of_trace ~chunk_capacity:cap tr in
+      let run src =
+        let sims = List.map A.Bp_sim.create_static statics in
+        A.Bp_sim.run_all src sims;
+        sims
+      in
+      let streamed = run (A.Tool.Source.of_trace tr)
+      and packed = run (A.Tool.Source.of_packed pt) in
+      let scopes = A.Branch_mix.[ Total; Only S.Serial; Only S.Parallel ] in
+      List.for_all2
+        (fun s (st, pk) ->
+          List.for_all
+            (fun scope ->
+              let expect sec_ok pred_wrong =
+                List.length
+                  (List.filter
+                     (fun (i : I.t) ->
+                       (not i.warmup) && sec_ok i
+                       && (not pred_wrong
+                           || i.kind = I.Cond_branch
+                              && static_predicts s i <> i.taken))
+                     insts)
+              in
+              let in_scope (i : I.t) =
+                match scope with
+                | A.Branch_mix.Total -> true
+                | A.Branch_mix.Only sec -> i.section = sec
+              in
+              let want_insts = expect in_scope false
+              and want_miss = expect in_scope true in
+              A.Bp_sim.insts st scope = want_insts
+              && A.Bp_sim.insts pk scope = want_insts
+              && A.Bp_sim.mispredictions st scope = want_miss
+              && A.Bp_sim.mispredictions pk scope = want_miss
+              && A.Bp_sim.conditional_branches st scope
+                 = A.Bp_sim.conditional_branches pk scope)
+            scopes)
+        statics
+        (List.combine streamed packed))
+
+(* ------------------------------------------------------------------ *)
 (* Disk persistence: with REPRO_PACKED_CACHE=1 a capture written by
    one run is read back by the next and replays identically. *)
 
@@ -200,6 +259,7 @@ let () =
        @ [ Alcotest.test_case "size validation" `Quick test_size_validation ]);
       ("capture",
        [ Alcotest.test_case "executor capture" `Slow test_executor_capture ]);
+      ("statics", Qseed.all [ prop_static_engines ]);
       ("sweeps",
        List.map
          (fun id ->
