@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke bench bench-json ci clean cache-clear
+.PHONY: all build test smoke bench bench-json ci ci-faults clean cache-clear
 
 all: build
 
@@ -51,10 +51,27 @@ ci: build
 	    fig1 fig5 fig7 fig8 fig9 --json BENCH_results.json
 	test -s BENCH_results.json
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
+	$(MAKE) ci-faults
+
+# Fault-torture gate: the tier-1 suite plus a bench sweep with every
+# fault site firing at 5% (seed 42). Supervision must absorb the
+# injected failures — the run completes, emits schema-v4 JSON that
+# validates, and the injected-fault counter in the engine footer
+# proves the sites actually fired. The fresh cache directory also
+# exercises quarantine and torn-write recovery end to end.
+ci-faults: build
+	$(DUNE) runtest
+	rm -rf _faults_cache BENCH_faults.json
+	REPRO_SCALE=0.05 REPRO_CACHE_DIR=_faults_cache \
+	  REPRO_FAULTS=all:0.05:42 \
+	  $(DUNE) exec bench/main.exe -- fig1 fig5 fig7 --json BENCH_faults.json
+	test -s BENCH_faults.json
+	$(DUNE) exec bench/main.exe -- --check-json BENCH_faults.json
+	rm -rf _faults_cache BENCH_faults.json
 
 clean:
 	$(DUNE) clean
-	rm -rf _cache _smoke_cache
+	rm -rf _cache _smoke_cache _faults_cache BENCH_faults.json
 
 cache-clear:
 	$(DUNE) exec bin/repro_cli.exe -- cache clear

@@ -25,9 +25,29 @@
      dune exec bench/main.exe -- --check-json BENCH_results.json
                                               validate an emitted file
                                               (exit 1 when malformed)
+     dune exec bench/main.exe -- --strict     fail fast: abort on the
+                                              first failed measurement
+                                              instead of marking holes
+     dune exec bench/main.exe -- --retry N    retry budget for transient
+                                              task failures (default 2)
+     dune exec bench/main.exe -- --timeout-ms N
+                                              per-task deadline (default
+                                              off; trades reproducibility)
+     dune exec bench/main.exe -- --faults SPEC
+                                              inject faults, e.g.
+                                              all:0.05:42 (also
+                                              REPRO_FAULTS)
+     dune exec bench/main.exe -- --no-journal do not journal completed
+                                              experiments (a fresh run
+                                              every time)
      REPRO_SCALE=0.2 dune exec bench/main.exe faster, noisier runs
      REPRO_TRACE=1   dune exec bench/main.exe print the telemetry span
-                                              tree to stderr on exit *)
+                                              tree to stderr on exit
+
+   An interrupted run leaves a resume journal under
+   <cache dir>/journal/; the next invocation with the same experiment
+   list, scale and tool version replays the completed experiments
+   byte-identically and continues from the first unfinished one. *)
 
 module W = Repro_workload
 module A = Repro_analysis
@@ -45,10 +65,17 @@ let scale =
 
 type measurement = {
   m_id : string;
+  m_status : string; (* "ok", "degraded" (holes) or "failed" *)
   m_wall_ms : float;
   m_sim_insts : int;
   m_hits : int;
   m_misses : int;
+  m_holes : int; (* measurements lost to failed benchmarks *)
+  m_ok : int; (* engine task outcomes, deltas over this experiment *)
+  m_retried : int;
+  m_failed : int;
+  m_timed_out : int;
+  m_faults : int; (* injected faults that fired during this experiment *)
   m_seq_ms : float option; (* uncached -j1 probe, jobs > 1 only *)
   m_par_ms : float option; (* uncached -jN probe, jobs > 1 only *)
   m_stream_ms : float option; (* streaming sweep probe, figs 5-9 only *)
@@ -146,38 +173,77 @@ let fused_probe id =
         (Some unfused, Some fused))
   end
 
+(* Run one experiment under supervision. Returns the rendered table
+   text (printed, and journaled by the caller when the run was
+   clean), the outcome status, and the measurement row when
+   [measure]. A failure that escapes the Experiment layer (the
+   supervised paths degrade internally, so this is a fatal class or a
+   strict-mode abort) is caught here when non-strict, rendered as a
+   marked hole in the sequence, and the harness moves on to the next
+   experiment. *)
 let run_experiment ~jobs ~measure id =
+  let name = Repro_core.Experiment.to_string id in
   let stats0 = Repro_core.Engine.stats () in
   let insts0 = T.counter "experiment.sim_insts" in
+  let faults0 = Repro_util.Faults.injected () in
   let t0 = T.now_ns () in
-  print_string (Repro_core.Report.run_to_string ~scale ~jobs id);
+  let text, status =
+    match Repro_core.Report.run_to_string ~scale ~jobs id with
+    | s ->
+        (s, if Repro_core.Experiment.holes () = [] then "ok" else "degraded")
+    | exception e
+      when (not (Repro_core.Experiment.strict_enabled ()))
+           && Repro_core.Failure.capturable e ->
+        let fl = Repro_core.Failure.of_exn e in
+        ( Printf.sprintf "==== %s: EXPERIMENT FAILED ====\n  %s\n\n" name
+            (Repro_core.Failure.to_string fl),
+          "failed" )
+  in
+  (* Captured now: the probe runs below re-enter Experiment.run,
+     which clears the per-run hole registry. *)
+  let holes_n = List.length (Repro_core.Experiment.holes ()) in
   let wall_ms = ms_since t0 in
-  Printf.printf "(%s regenerated in %.1fs at scale %g, %d job%s)\n\n"
-    (Repro_core.Experiment.to_string id)
+  print_string text;
+  Printf.printf "(%s %s in %.1fs at scale %g, %d job%s)\n\n" name
+    (if status = "failed" then "FAILED" else "regenerated")
     (wall_ms /. 1000.0) scale jobs
     (if jobs = 1 then "" else "s");
-  if not measure then None
-  else begin
-    (* Deltas captured before the speedup probe, which simulates more
-       instructions and takes more cache misses of its own. *)
-    let sim_insts = T.counter "experiment.sim_insts" - insts0 in
-    let stats1 = Repro_core.Engine.stats () in
-    let seq_ms, par_ms = speedup_probe ~jobs id in
-    let stream_ms, replay_ms = sweep_probe id in
-    let unfused_ms, fused_ms = fused_probe id in
-    Some
-      { m_id = Repro_core.Experiment.to_string id;
-        m_wall_ms = wall_ms;
-        m_sim_insts = sim_insts;
-        m_hits = stats1.cache_hits - stats0.cache_hits;
-        m_misses = stats1.cache_misses - stats0.cache_misses;
-        m_seq_ms = seq_ms;
-        m_par_ms = par_ms;
-        m_stream_ms = stream_ms;
-        m_replay_ms = replay_ms;
-        m_unfused_ms = unfused_ms;
-        m_fused_ms = fused_ms }
-  end
+  let row =
+    if not measure then None
+    else begin
+      (* Deltas captured before the speedup probe, which simulates more
+         instructions and takes more cache misses of its own. *)
+      let sim_insts = T.counter "experiment.sim_insts" - insts0 in
+      let stats1 = Repro_core.Engine.stats () in
+      (* The perf probes rerun the experiment several times; numbers
+         from a degraded or failed run would compare apples to holes,
+         so they only run after a clean pass. *)
+      let probe2 f = if status = "ok" then f () else (None, None) in
+      let seq_ms, par_ms = probe2 (fun () -> speedup_probe ~jobs id) in
+      let stream_ms, replay_ms = probe2 (fun () -> sweep_probe id) in
+      let unfused_ms, fused_ms = probe2 (fun () -> fused_probe id) in
+      Some
+        { m_id = name;
+          m_status = status;
+          m_wall_ms = wall_ms;
+          m_sim_insts = sim_insts;
+          m_hits = stats1.cache_hits - stats0.cache_hits;
+          m_misses = stats1.cache_misses - stats0.cache_misses;
+          m_holes = holes_n;
+          m_ok = stats1.tasks_run - stats0.tasks_run;
+          m_retried = stats1.tasks_retried - stats0.tasks_retried;
+          m_failed = stats1.tasks_failed - stats0.tasks_failed;
+          m_timed_out = stats1.tasks_timed_out - stats0.tasks_timed_out;
+          m_faults = Repro_util.Faults.injected () - faults0;
+          m_seq_ms = seq_ms;
+          m_par_ms = par_ms;
+          m_stream_ms = stream_ms;
+          m_replay_ms = replay_ms;
+          m_unfused_ms = unfused_ms;
+          m_fused_ms = fused_ms }
+    end
+  in
+  (text, status, row)
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_results.json: the machine-readable perf trajectory. *)
@@ -187,6 +253,7 @@ let measurement_json ~jobs m =
   let lookups = m.m_hits + m.m_misses in
   J.Obj
     [ ("id", J.Str m.m_id);
+      ("status", J.Str m.m_status);
       ("wall_ms", J.Num m.m_wall_ms);
       ("sim_insts", J.Num (float_of_int m.m_sim_insts));
       ( "instr_per_s",
@@ -201,6 +268,12 @@ let measurement_json ~jobs m =
         J.Num
           (if lookups > 0 then float_of_int m.m_hits /. float_of_int lookups
            else 0.0) );
+      ("holes", J.Num (float_of_int m.m_holes));
+      ("tasks_ok", J.Num (float_of_int m.m_ok));
+      ("tasks_retried", J.Num (float_of_int m.m_retried));
+      ("tasks_failed", J.Num (float_of_int m.m_failed));
+      ("tasks_timed_out", J.Num (float_of_int m.m_timed_out));
+      ("faults_injected", J.Num (float_of_int m.m_faults));
       ("seq_ms", opt m.m_seq_ms);
       ("par_ms", opt m.m_par_ms);
       ( "speedup_vs_j1",
@@ -223,10 +296,15 @@ let measurement_json ~jobs m =
 let emit_json ~jobs path rows =
   let doc =
     J.Obj
-      [ ("schema_version", J.Num 3.0);
+      [ ("schema_version", J.Num 4.0);
         ("scale", J.Num scale);
         ("jobs", J.Num (float_of_int jobs));
         ("packed", J.Bool (Repro_core.Experiment.packed_enabled ()));
+        ("strict", J.Bool (Repro_core.Experiment.strict_enabled ()));
+        ( "faults",
+          match Repro_util.Faults.spec () with
+          | Some s -> J.Str s
+          | None -> J.Null );
         ("experiments", J.Arr (List.map (measurement_json ~jobs) rows)) ]
   in
   Out_channel.with_open_bin path (fun oc ->
@@ -259,8 +337,8 @@ let check_json path =
         | None -> fail "field %S missing" name
       in
       (match J.member "schema_version" doc with
-      | Some (J.Num v) when v = 3.0 -> ()
-      | Some (J.Num v) -> fail "schema_version %g (want 3)" v
+      | Some (J.Num v) when v = 4.0 -> ()
+      | Some (J.Num v) -> fail "schema_version %g (want 4)" v
       | Some _ -> fail "schema_version is not a number"
       | None -> fail "top-level \"schema_version\" missing");
       match J.member "experiments" doc with
@@ -272,9 +350,16 @@ let check_json path =
                 | Some (J.Str id) -> id
                 | _ -> fail "experiment entry without a string \"id\""
               in
+              (match J.member "status" row with
+              | Some (J.Str ("ok" | "degraded" | "failed")) -> ()
+              | Some (J.Str s) -> fail "%s: unknown status %S" id s
+              | Some _ -> fail "%s: \"status\" is not a string" id
+              | None -> fail "%s: field \"status\" missing" id);
               List.iter (num row)
                 [ "wall_ms"; "sim_insts"; "instr_per_s"; "jobs";
-                  "cache_hits"; "cache_misses"; "cache_hit_rate" ];
+                  "cache_hits"; "cache_misses"; "cache_hit_rate"; "holes";
+                  "tasks_ok"; "tasks_retried"; "tasks_failed";
+                  "tasks_timed_out"; "faults_injected" ];
               (* Probe fields: null for experiments the probe does not
                  apply to, numbers otherwise. *)
               List.iter
@@ -428,16 +513,31 @@ let valid_ids () =
   String.concat " "
     (List.map Repro_core.Experiment.to_string Repro_core.Experiment.all)
 
-(* Strip [-j N] / [--jobs N], [--no-cache], [--no-packed],
-   [--no-fused], [--json FILE] and [--check-json FILE] out of the
-   argument list,
-   returning (jobs, json output file, file to validate, remaining
-   args). *)
+(* Strip the harness flags out of the argument list, returning
+   (jobs, json output file, file to validate, journal enabled,
+   remaining args). Malformed [--retry] / [--timeout-ms] values warn
+   on stderr and keep the default, matching the REPRO_JOBS /
+   REPRO_PACKED convention — a typo degrades the supervision knob,
+   it does not kill a run that may be hours in. *)
 let parse_flags args =
   let json = ref None in
   let check = ref None in
+  let journal = ref true in
+  let int_flag name ~min ~max_ ~apply n =
+    match int_of_string_opt n with
+    | Some v when v >= min && v <= max_ -> apply v
+    | Some v ->
+        Printf.eprintf
+          "bench: clamping %s %d to %d..%d\n%!" name v min max_;
+        apply (Stdlib.max min (Stdlib.min max_ v))
+    | None ->
+        Printf.eprintf
+          "bench: ignoring invalid %s %S (want an integer in %d..%d); \
+           keeping the default\n%!"
+          name n min max_
+  in
   let rec go jobs acc = function
-    | [] -> (jobs, !json, !check, List.rev acc)
+    | [] -> (jobs, !json, !check, !journal, List.rev acc)
     | ("-j" | "--jobs") :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j > 0 -> go j acc rest
@@ -456,6 +556,34 @@ let parse_flags args =
     | "--no-fused" :: rest ->
         Repro_core.Experiment.set_fused false;
         go jobs acc rest
+    | "--no-journal" :: rest ->
+        journal := false;
+        go jobs acc rest
+    | "--strict" :: rest ->
+        Repro_core.Experiment.set_strict true;
+        go jobs acc rest
+    | "--retry" :: n :: rest ->
+        int_flag "--retry" ~min:0 ~max_:10 ~apply:Repro_core.Engine.set_retries
+          n;
+        go jobs acc rest
+    | [ "--retry" ] ->
+        Printf.eprintf "missing count after --retry\n";
+        exit 2
+    | "--timeout-ms" :: n :: rest ->
+        int_flag "--timeout-ms" ~min:1 ~max_:max_int
+          ~apply:(fun v -> Repro_core.Engine.set_timeout_ms (Some v))
+          n;
+        go jobs acc rest
+    | [ "--timeout-ms" ] ->
+        Printf.eprintf "missing milliseconds after --timeout-ms\n";
+        exit 2
+    | "--faults" :: spec :: rest when spec <> "" ->
+        (* Faults.configure warns once per malformed entry itself. *)
+        Repro_util.Faults.configure (Some spec);
+        go jobs acc rest
+    | [ "--faults" ] ->
+        Printf.eprintf "missing spec after --faults (site:prob:seed,...)\n";
+        exit 2
     | "--json" :: file :: rest when file <> "" ->
         json := Some file;
         go jobs acc rest
@@ -472,8 +600,31 @@ let parse_flags args =
   in
   go (Repro_core.Engine.default_jobs ()) [] args
 
+(* ------------------------------------------------------------------ *)
+(* Resume journal: each completed experiment's rendered text and
+   measurement row are journaled; a rerun after an interruption
+   replays them byte-identically and picks up at the first experiment
+   the journal does not cover. Only clean ("ok") experiments are
+   journaled — degraded or failed ones rerun, so transient trouble
+   heals across restarts. The fingerprint ties a journal to the
+   experiment list, scale, measurement mode, JSON schema and cache
+   version; any mismatch starts fresh. *)
+
+let journal_fingerprint ~measure ids =
+  String.concat "|"
+    ([ "schema4"; Repro_core.Cache.version; Printf.sprintf "%h" scale;
+       string_of_bool measure;
+       (match Repro_util.Faults.spec () with Some s -> s | None -> "") ]
+    @ List.map Repro_core.Experiment.to_string ids)
+
+let journal_payload (text, row) : string =
+  Marshal.to_string (text, (row : measurement option)) []
+
+let journal_parse payload : string * measurement option =
+  Marshal.from_string payload 0
+
 let () =
-  let jobs, json_out, check, args =
+  let jobs, json_out, check, use_journal, args =
     parse_flags (List.tl (Array.to_list Sys.argv))
   in
   (match check with
@@ -507,18 +658,71 @@ let () =
     "frontend-repro benchmark harness — scale %g (set REPRO_SCALE to change)\n\n"
     scale;
   let measure = json_out <> None in
-  let rows = List.filter_map (run_experiment ~jobs ~measure) ids in
+  let journal, recovered =
+    if not use_journal || ids = [] then (None, [])
+    else
+      match
+        Repro_core.Journal.open_run ~name:"bench"
+          ~fingerprint:(journal_fingerprint ~measure ids)
+      with
+      | Some (j, recs) -> (Some j, recs)
+      | None -> (None, [])
+  in
+  let rows = ref [] in
+  (try
+     List.iter
+       (fun id ->
+         let name = Repro_core.Experiment.to_string id in
+         match List.assoc_opt name recovered with
+         | Some payload ->
+             (* Completed before the interruption: replay the stored
+                rendering byte-for-byte instead of recomputing. *)
+             let text, row = journal_parse payload in
+             print_string text;
+             Printf.printf "(%s resumed from journal)\n\n" name;
+             Option.iter (fun r -> rows := r :: !rows) row
+         | None ->
+             let text, status, row = run_experiment ~jobs ~measure id in
+             Option.iter (fun r -> rows := r :: !rows) row;
+             if status = "ok" then
+               Option.iter
+                 (fun j ->
+                   Repro_core.Journal.append j ~step:name
+                     ~payload:(journal_payload (text, row)))
+                 journal)
+       ids
+   with Repro_core.Failure.Error fl ->
+     (* Strict-mode abort: the journal survives, so a rerun resumes
+        from the last completed experiment. *)
+     Printf.eprintf "bench: aborted (strict): %s\n"
+       (Repro_core.Failure.to_string fl);
+     Option.iter Repro_core.Journal.close journal;
+     exit 1);
+  let rows = List.rev !rows in
   if ids <> [] then begin
     let s = Repro_core.Engine.stats () in
+    let faults = Repro_util.Faults.injected () in
+    let supervision =
+      if s.tasks_retried + s.tasks_failed + s.tasks_timed_out + faults = 0
+      then ""
+      else
+        Printf.sprintf ", supervision: %d retried, %d failed, %d timed out, \
+                        %d faults injected"
+          s.tasks_retried s.tasks_failed s.tasks_timed_out faults
+    in
     Printf.printf
       "(engine: %d tasks over <=%d domains, persistent cache: %d hits, %d \
-       misses%s)\n\n"
+       misses%s%s)\n\n"
       s.tasks_run s.max_domains s.cache_hits s.cache_misses
       (if Repro_core.Cache.enabled () then "" else " [disabled]")
+      supervision
   end;
   (match json_out with
   | Some path -> emit_json ~jobs path rows
   | None -> ());
+  (* Everything the journal covers has been produced and emitted: a
+     finished run leaves no journal behind. *)
+  Option.iter Repro_core.Journal.finish journal;
   if wants "ablation" then ablation ();
   if wants "scaling" then thread_scaling ();
   if wants "extension" then extension_study ();

@@ -44,12 +44,59 @@ let trace_arg =
   in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
-let apply_engine_flags trace jobs no_cache =
+let strict_arg =
+  let doc =
+    "Fail fast: the first failed measurement raises instead of degrading \
+     to a marked $(b,!) hole in the tables (also \\$(b,REPRO_STRICT=1))."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let faults_arg =
+  let doc =
+    "Deterministic fault injection, e.g. $(b,all:0.05:42) or \
+     $(b,cache.read:0.1:7,engine.task:0.01:7) (also \\$(b,REPRO_FAULTS)). \
+     Supervision absorbs the injected failures; results are unchanged."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let retry_arg =
+  let doc =
+    "Retry budget for transient task failures (clamped to 0..10, \
+     default 2)."
+  in
+  Arg.(value & opt (some int) None & info [ "retry" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc =
+    "Per-task cooperative deadline in milliseconds (default: none). An \
+     attempt that overran is discarded when it returns, so enabling this \
+     trades bit-reproducibility for bounded damage."
+  in
+  Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let apply_engine_flags trace jobs no_cache strict faults retry timeout =
   if trace then Repro_util.Telemetry.set_enabled true;
   if no_cache then Repro_core.Cache.set_enabled false;
+  if strict then Repro_core.Experiment.set_strict true;
+  (match faults with
+  | Some spec -> Repro_util.Faults.configure (Some spec)
+  | None -> ());
+  (match retry with
+  | Some r -> Repro_core.Engine.set_retries r
+  | None -> ());
+  (match timeout with
+  | Some t -> Repro_core.Engine.set_timeout_ms (Some t)
+  | None -> ());
   match jobs with
   | Some j when j > 0 -> Repro_core.Engine.set_default_jobs j
   | Some _ | None -> ()
+
+(* One shared term: every experiment-running subcommand accepts the
+   same engine/supervision knobs and applies them the same way. *)
+let engine_flags =
+  Term.(
+    const apply_engine_flags $ trace_arg $ jobs_arg $ no_cache_arg
+    $ strict_arg $ faults_arg $ retry_arg $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -144,8 +191,7 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
            ~doc:"Experiment id, e.g. fig5 or tab3")
   in
-  let run scale trace jobs no_cache id =
-    apply_engine_flags trace jobs no_cache;
+  let run scale () id =
     match Repro_core.Experiment.of_string id with
     | None ->
         Printf.eprintf "unknown experiment %s; valid ids: %s\n" id
@@ -156,24 +202,22 @@ let experiment_cmd =
     | Some id -> print_string (Repro_core.Report.run_to_string ~scale id)
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure")
-    Term.(const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg $ id_arg)
+    Term.(const run $ scale_arg $ engine_flags $ id_arg)
 
 let report_cmd =
-  let run scale trace jobs no_cache =
-    apply_engine_flags trace jobs no_cache;
+  let run scale () =
     print_string (Repro_core.Report.run_all_to_string ~scale ())
   in
   Cmd.v (Cmd.info "report" ~doc:"Regenerate every table and figure")
-    Term.(const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ scale_arg $ engine_flags)
 
 let experiments_md_cmd =
-  let run scale trace jobs no_cache =
-    apply_engine_flags trace jobs no_cache;
+  let run scale () =
     print_string (Repro_core.Report.experiments_markdown ~scale ())
   in
   Cmd.v
     (Cmd.info "experiments-md" ~doc:"Emit EXPERIMENTS.md body to stdout")
-    Term.(const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg)
+    Term.(const run $ scale_arg $ engine_flags)
 
 (* ------------------------------------------------------------------ *)
 
@@ -303,8 +347,7 @@ let export_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
            ~doc:"Experiment ids (default: all)")
   in
-  let run scale trace jobs no_cache dir ids =
-    apply_engine_flags trace jobs no_cache;
+  let run scale () dir ids =
     let ids =
       match ids with
       | [] -> Repro_core.Experiment.all
@@ -325,9 +368,7 @@ let export_cmd =
       ids
   in
   Cmd.v (Cmd.info "export" ~doc:"Write experiment results as CSV files")
-    Term.(
-      const run $ scale_arg $ trace_arg $ jobs_arg $ no_cache_arg $ dir_arg
-      $ ids_arg)
+    Term.(const run $ scale_arg $ engine_flags $ dir_arg $ ids_arg)
 
 let () =
   let doc =

@@ -1,8 +1,9 @@
 module Telemetry = Repro_util.Telemetry
+module Faults = Repro_util.Faults
 
-let version = "2"
+let version = "3"
 
-let magic = "REPROCACHE1\n"
+let magic = "REPROCACHE2\n"
 let suffix = ".bin"
 
 (* In-flight temp files carry a suffix that [cache_files] can never
@@ -10,6 +11,17 @@ let suffix = ".bin"
    concurrent [clear ()] could delete a temp file out from under the
    [store] about to rename it, silently losing the entry. *)
 let tmp_suffix = ".tmp"
+
+(* Undecodable entries are renamed aside with this suffix instead of
+   being silently shadowed: the evidence survives for inspection and
+   a half-written file can never be re-read as data. *)
+let bad_suffix = ".bad"
+
+(* Trailer after the payload: proves the write reached end-of-file.
+   The header digest alone cannot distinguish "entry being read while
+   short" from "torn write that will never grow"; a missing trailer
+   settles it. *)
+let trailer_magic = "\nREPROEND"
 
 let enabled_ref =
   ref
@@ -52,44 +64,79 @@ let key ~profile ~scale ~kind =
 
 let path k = Filename.concat (dir ()) k.file
 
-(* Serialized entry: magic, hex digest of the payload, payload. The
-   digest turns truncation and bit-rot into clean misses. *)
+(* Serialized entry: magic, hex digest of the payload, payload, then
+   a trailer repeating the digest. The digest turns truncation and
+   bit-rot into quarantined misses; the trailer catches torn writes
+   that stopped anywhere short of the last byte. *)
 
 let encode v =
   let payload = Marshal.to_string v [] in
-  magic ^ Digest.to_hex (Digest.string payload) ^ "\n" ^ payload
+  let hex = Digest.to_hex (Digest.string payload) in
+  magic ^ hex ^ "\n" ^ payload ^ trailer_magic ^ hex
+
+(* Marshal's deserializer tags its own errors; any other [Failure]
+   raised while decoding is not a corrupt entry and must propagate
+   (it used to be swallowed as a miss). *)
+let is_marshal_failure msg =
+  String.starts_with ~prefix:"input_value" msg
+  || String.starts_with ~prefix:"Marshal" msg
 
 let decode s =
   let mlen = String.length magic in
-  (* 32 hex chars + '\n' after the magic. *)
-  if String.length s < mlen + 33 then None
+  let tlen = String.length trailer_magic + 32 in
+  (* 32 hex chars + '\n' after the magic, trailer at the end. *)
+  if String.length s < mlen + 33 + tlen then None
   else if not (String.equal (String.sub s 0 mlen) magic) then None
   else if s.[mlen + 32] <> '\n' then None
   else
     let hex = String.sub s mlen 32 in
-    let payload = String.sub s (mlen + 33) (String.length s - mlen - 33) in
-    if not (String.equal hex (Digest.to_hex (Digest.string payload))) then None
+    let plen = String.length s - mlen - 33 - tlen in
+    let payload = String.sub s (mlen + 33) plen in
+    let trailer = String.sub s (mlen + 33 + plen) tlen in
+    if not (String.equal trailer (trailer_magic ^ hex)) then None
+    else if not (String.equal hex (Digest.to_hex (Digest.string payload)))
+    then None
     else match Marshal.from_string payload 0 with
       | v -> Some v
-      | exception Failure _ ->
-          (* Marshal rejects truncated or corrupt payloads with
-             Failure; anything else (Out_of_memory, ...) is a real
-             runtime fault and must not masquerade as a miss. *)
+      | exception Stdlib.Failure msg when is_marshal_failure msg ->
+          (* Truncated or corrupt payload. Any other exception —
+             fatal runtime faults, a [Failure] raised by code the
+             deserializer triggered — is a real error and must not
+             masquerade as a miss. *)
           None
+
+(* Move a corrupt entry aside rather than deleting it or, worse,
+   leaving it to be re-read: the quarantined file keeps the evidence
+   and can never match [suffix] again. *)
+let quarantine k =
+  (try Sys.rename (path k) (path k ^ bad_suffix) with Sys_error _ -> ());
+  Telemetry.incr "cache.quarantined"
 
 let find k =
   if not (enabled ()) then None
   else
     Telemetry.with_span "cache.find" (fun () ->
-        match In_channel.with_open_bin (path k) In_channel.input_all with
-        | s ->
-            Telemetry.add "cache.read_bytes" (String.length s);
-            decode s
-        | exception Sys_error _ ->
-            (* Missing or unreadable file is an ordinary miss. Fatal
-               runtime exceptions (Out_of_memory, Stack_overflow) are
-               deliberately not caught. *)
-            None)
+        if Faults.fires "cache.read" then
+          (* Simulated read I/O error: behaves exactly like the real
+             thing below — an ordinary miss, the entry untouched. *)
+          None
+        else
+          match In_channel.with_open_bin (path k) In_channel.input_all with
+          | s -> (
+              Telemetry.add "cache.read_bytes" (String.length s);
+              let decoded =
+                if Faults.fires "cache.decode" then None else decode s
+              in
+              match decoded with
+              | Some v -> Some v
+              | None ->
+                  quarantine k;
+                  None)
+          | exception Sys_error _ ->
+              (* Missing or unreadable file is an ordinary miss. Fatal
+                 runtime exceptions (Out_of_memory, Stack_overflow) are
+                 deliberately not caught. *)
+              None)
 
 let rec mkdir_p d =
   if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
@@ -107,25 +154,40 @@ let store k v =
            the caller. *)
         try
           mkdir_p (dir ());
-          (* temp_file opens exclusively, so concurrent writers (other
-             domains or other processes) never interleave; the final
-             rename is atomic and last-writer-wins with equal bytes.
-             The .tmp suffix keeps the in-flight file invisible to
-             [cache_files], so a concurrent [clear] cannot delete it
-             before the rename. *)
-          let tmp, oc =
-            Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:(dir ())
-              "tmp-cache" tmp_suffix
-          in
-          (try
-             let encoded = encode v in
-             Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-                 output_string oc encoded);
-             Telemetry.add "cache.write_bytes" (String.length encoded);
-             Sys.rename tmp (path k)
-           with e ->
-             (try Sys.remove tmp with Sys_error _ -> ());
-             raise e)
+          let encoded = encode v in
+          if Faults.fires "cache.write" then
+            (* Simulated write I/O error: the store is dropped, as a
+               full disk would drop it. *)
+            ()
+          else if Faults.fires "cache.write.torn" then begin
+            (* Simulated crash mid-write: a prefix of the entry lands
+               at the final path, bypassing the temp-file rename. The
+               next [find] must quarantine it, never decode it. *)
+            Out_channel.with_open_bin (path k) (fun oc ->
+                Out_channel.output_string oc
+                  (String.sub encoded 0 (String.length encoded / 2)));
+            Telemetry.incr "cache.torn_writes"
+          end
+          else begin
+            (* temp_file opens exclusively, so concurrent writers (other
+               domains or other processes) never interleave; the final
+               rename is atomic and last-writer-wins with equal bytes.
+               The .tmp suffix keeps the in-flight file invisible to
+               [cache_files], so a concurrent [clear] cannot delete it
+               before the rename. *)
+            let tmp, oc =
+              Filename.open_temp_file ~mode:[ Open_binary ] ~temp_dir:(dir ())
+                "tmp-cache" tmp_suffix
+            in
+            try
+              Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+                  output_string oc encoded);
+              Telemetry.add "cache.write_bytes" (String.length encoded);
+              Sys.rename tmp (path k)
+            with e ->
+              (try Sys.remove tmp with Sys_error _ -> ());
+              raise e
+          end
         with Sys_error _ -> ())
 
 let memoize k compute =
@@ -152,10 +214,18 @@ let cache_files () =
         (Array.to_list files)
   | exception Sys_error _ -> []
 
+let quarantined_files () =
+  match Sys.readdir (dir ()) with
+  | files ->
+      List.filter (fun f -> Filename.check_suffix f bad_suffix)
+        (Array.to_list files)
+  | exception Sys_error _ -> []
+
 let clear () =
   List.iter
     (fun f ->
       try Sys.remove (Filename.concat (dir ()) f) with Sys_error _ -> ())
-    (cache_files ())
+    (cache_files () @ quarantined_files ())
 
 let entries () = List.length (cache_files ())
+let quarantined () = List.length (quarantined_files ())

@@ -1,5 +1,8 @@
 (** Multicore experiment engine: a [Domain]-based pool that shards
-    independent per-benchmark tasks across cores.
+    independent per-benchmark tasks across cores, with supervised
+    execution on top — per-task retry with exponential backoff for
+    transient failures, monotonic-deadline timeouts, and a
+    structured-result map for callers that degrade instead of abort.
 
     Tasks must be self-contained (each benchmark's trace generator is
     reseeded from its profile), so a parallel run produces results
@@ -8,20 +11,31 @@
     call and always joined before returning — a raising task cannot
     leak domains or deadlock the caller.
 
+    Every task dispatch passes the [engine.task] fault site of
+    {!Repro_util.Faults}, so a fault-torture run
+    ([REPRO_FAULTS=engine.task:0.1:7]) exercises exactly the retry
+    and degradation paths a real crash would.
+
     When {!Repro_util.Telemetry} is enabled the engine records an
     [engine.batch] span per spawning [map] call with [engine.task]
-    child spans (worker domains buffer theirs locally and the buffers
-    are merged at join), an [engine.busy_ns] counter, and an
+    child spans (worker domains buffer theirs locally and flush the
+    buffers in a finalizer, so partial spans survive a failing
+    sibling task; the buffers are merged at join), an
+    [engine.busy_ns] counter, outcome counters
+    ([engine.tasks_ok/retried/failed/timed_out]), and an
     [engine.utilization] gauge (busy-time / elapsed x domains). With
     telemetry disabled none of this costs anything and results are
     byte-identical. *)
 
 type stats = {
-  tasks_run : int;  (** tasks executed by [map] since the last reset *)
-  batches : int;  (** [map] calls that actually spawned domains *)
+  tasks_run : int;  (** tasks completed successfully by [map]/[map_result] *)
+  batches : int;  (** calls that actually spawned domains *)
   max_domains : int;  (** largest pool size used so far *)
   cache_hits : int;  (** persistent-cache lookups served from disk *)
   cache_misses : int;  (** persistent-cache lookups that recomputed *)
+  tasks_retried : int;  (** retry attempts made on transient failures *)
+  tasks_failed : int;  (** tasks that failed after their retry budget *)
+  tasks_timed_out : int;  (** tasks whose attempt overran its deadline *)
 }
 
 val default_jobs : unit -> int
@@ -39,15 +53,64 @@ val set_default_jobs : int -> unit
 (** Override {!default_jobs} for the rest of the process (clamped to
     [1..64]); used by the [-j] flags of the CLI and bench harness. *)
 
+(** {1 Supervision} *)
+
+type policy = {
+  retries : int;  (** extra attempts for [Transient]-classed failures *)
+  backoff_ms : float;  (** backoff base: base, 2x, 4x ... capped at 100ms *)
+  timeout_ms : int option;  (** per-attempt monotonic deadline *)
+}
+
+val default_policy : unit -> policy
+(** The process-wide policy used when [?policy] is omitted:
+    [retries] from {!set_retries} (default 2), 1ms backoff base,
+    [timeout_ms] from {!set_timeout_ms} (default none). *)
+
+val retries : unit -> int
+val set_retries : int -> unit
+(** Clamped to [0..10]; wired to the bench harness [--retry] flag. *)
+
+val timeout_ms : unit -> int option
+val set_timeout_ms : int option -> unit
+(** Clamped to [>= 1] ms; wired to [--timeout-ms]. Deadlines are
+    cooperative: OCaml domains cannot be preempted, so an attempt
+    that overran is detected when it returns and its result is
+    discarded (classed [Timeout], never retried) — a timeout bounds
+    the damage of slow tasks, it cannot unstick a livelocked one.
+    Note that discarding an overrunning result makes output depend
+    on wall time; leave timeouts off when bit-reproducibility
+    matters. *)
+
+(** {1 Mapping} *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] is [List.map f items] computed by up to [jobs]
     domains (including the calling one). Order is preserved. With
     [jobs <= 1] — or a list shorter than two elements — no domain is
     spawned and the work runs inline.
 
-    If any task raises, every worker stops taking new tasks, all
-    domains are joined, and the first (lowest-index) exception is
-    re-raised in the caller. *)
+    Transient failures ({!Failure.classify}) are retried under
+    {!default_policy} before counting as failures. If a task still
+    fails, every worker stops taking new tasks, all domains are
+    joined, and the first (lowest-index) original exception is
+    re-raised in the caller; a deadline overrun raises
+    {!Failure.Error} with class [Timeout]. *)
+
+val map_result :
+  ?jobs:int ->
+  ?policy:policy ->
+  ?fail_fast:bool ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, Failure.t) result list
+(** Like {!map} but failures become data: each task yields [Ok] or
+    the structured {!Failure.t} it died with (after the retry
+    budget). With [fail_fast] (default [false]) workers stop taking
+    new tasks after the first failure and unattempted tasks yield a
+    [Transient] "abandoned" failure; otherwise every task runs to
+    completion regardless of siblings. Fatal runtime conditions
+    ([Out_of_memory], [Stack_overflow], [Sys.Break]) are never
+    converted to values — they re-raise after the pool is joined. *)
 
 val stats : unit -> stats
 val reset_stats : unit -> unit

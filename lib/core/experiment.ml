@@ -173,6 +173,41 @@ let fused_enabled () =
   | Some b -> b
   | None -> env_flag "REPRO_FUSED" ~default:true
 
+(* ------------------------------------------------------------------ *)
+(* Strict mode and degradation holes.
+
+   A benchmark whose supervised measurement fails (after Engine's
+   retry budget) normally degrades: the failure is recorded here and
+   the affected table cells render as a hole marker instead of a
+   number, so one bad benchmark cannot abort a whole run. Strict mode
+   ([--strict] / [REPRO_STRICT=1]) restores fail-fast: the first such
+   failure raises {!Failure.Error}. *)
+
+let strict_override = ref None
+let set_strict b = strict_override := Some b
+
+let strict_enabled () =
+  match !strict_override with
+  | Some b -> b
+  | None -> env_flag "REPRO_STRICT" ~default:false
+
+(* Cell marker for a measurement lost to a failed benchmark. A bare
+   "-" already means "metric not defined here"; "!" is visibly a
+   casualty. *)
+let hole_cell = "!"
+
+let holes_ref : (string * Failure.t) list ref = ref []
+
+let record_hole where (fl : Failure.t) =
+  if strict_enabled () then raise (Failure.Error fl)
+  else begin
+    locked (fun () -> holes_ref := (where, fl) :: !holes_ref);
+    Repro_util.Telemetry.incr "experiment.holes"
+  end
+
+let holes () = locked (fun () -> List.rev !holes_ref)
+let clear_holes () = locked (fun () -> holes_ref := [])
+
 let packed_budget_bytes =
   lazy
     ((match Sys.getenv_opt "REPRO_PACKED_MB" with
@@ -287,6 +322,25 @@ let serial = A.Branch_mix.Only Repro_isa.Section.Serial
 let parallel = A.Branch_mix.Only Repro_isa.Section.Parallel
 let total = A.Branch_mix.Total
 
+(* Supervised per-benchmark map for the trace-simulating figures:
+   every item runs under Engine's retry/timeout policy, and an item
+   that still fails becomes [Error ()] after its failure is recorded
+   as a degradation hole (or raised, in strict mode). In strict mode
+   the batch also fails fast — there is no point finishing siblings
+   whose results will be discarded by the raise. *)
+let bench_map ~jobs ~where name_of f items =
+  let results =
+    Engine.map_result ~jobs ~fail_fast:(strict_enabled ()) f items
+  in
+  List.map2
+    (fun item r ->
+      match r with
+      | Ok v -> Ok v
+      | Error fl ->
+          record_hole (where ^ "/" ^ name_of item) fl;
+          Error ())
+    items results
+
 (* Sweep sharding for the fused kernels. When the Engine pool has
    more domains than there are benchmarks to shard over, the fused
    sweep's configuration axis is split into contiguous ranges and
@@ -297,11 +351,21 @@ let total = A.Branch_mix.Total
    function of the instruction stream alone, so each range replays
    to exactly the state a whole-sweep run would give its slice
    (pinned in test_sweep.ml). [run_range p lo hi] must return the
-   per-config results for configs [lo, hi). *)
-let sweep_map ~jobs profiles nconfigs run_range =
+   per-config results for configs [lo, hi).
+
+   Supervision composes with slicing: a benchmark whose parts all
+   survived stitches back together exactly as before; a benchmark
+   with any failed part becomes one hole (the partial results are
+   discarded — a row mixing real and missing configurations would
+   not be renderable). *)
+let sweep_map ~jobs ~where profiles nconfigs run_range =
   let nbench = List.length profiles in
   let groups = max 1 (min nconfigs (jobs / max 1 nbench)) in
-  if groups = 1 then Engine.map ~jobs (fun p -> run_range p 0 nconfigs) profiles
+  if groups = 1 then
+    bench_map ~jobs ~where
+      (fun (p : W.Profile.t) -> p.name)
+      (fun p -> run_range p 0 nconfigs)
+      profiles
   else begin
     let ranges =
       List.init groups (fun g ->
@@ -311,25 +375,42 @@ let sweep_map ~jobs profiles nconfigs run_range =
       List.concat_map (fun p -> List.map (fun r -> (p, r)) ranges) profiles
     in
     let parts =
-      Engine.map ~jobs (fun (p, (lo, hi)) -> run_range p lo hi) tasks
+      Engine.map_result ~jobs ~fail_fast:(strict_enabled ())
+        (fun (p, (lo, hi)) -> run_range p lo hi)
+        tasks
     in
     (* Reassemble: tasks were emitted benchmark-major with ranges in
        ascending order, so consecutive runs of [groups] parts belong
        to one benchmark. *)
-    let rec stitch = function
-      | [] -> []
-      | parts ->
-          let rec take n l acc =
-            if n = 0 then (List.rev acc, l)
-            else
-              match l with
-              | x :: tl -> take (n - 1) tl (x :: acc)
-              | [] -> invalid_arg "sweep_map: uneven parts"
-          in
-          let mine, rest = take groups parts [] in
-          Array.concat mine :: stitch rest
+    let rec take n l acc =
+      if n = 0 then (List.rev acc, l)
+      else
+        match l with
+        | x :: tl -> take (n - 1) tl (x :: acc)
+        | [] -> invalid_arg "sweep_map: uneven parts"
     in
-    stitch parts
+    let rec stitch profiles parts =
+      match profiles with
+      | [] -> []
+      | (p : W.Profile.t) :: ptl ->
+          let mine, rest = take groups parts [] in
+          let row =
+            List.fold_left
+              (fun acc part ->
+                match (acc, part) with
+                | Ok done_, Ok arr -> Ok (arr :: done_)
+                | (Error _ as e), _ -> e
+                | Ok _, Error fl -> Error fl)
+              (Ok []) mine
+          in
+          (match row with
+          | Ok arrs -> Ok (Array.concat (List.rev arrs))
+          | Error fl ->
+              record_hole (where ^ "/" ^ p.name) fl;
+              Error ())
+          :: stitch ptl rest
+    in
+    stitch profiles parts
   end
 
 (* Mean of column [i] across per-benchmark result rows, skipping
@@ -343,6 +424,16 @@ let mean_at per_bench i =
       per_bench
   in
   Repro_util.Stats.mean values
+
+(* Render a supervised per-benchmark result set as [n] aggregate
+   cells. Only a complete set aggregates: if any member benchmark
+   failed, every cell is a hole — silently averaging the survivors
+   would present wrong data with nothing to flag it. *)
+let mean_cells ?(fmt = Table.fmt_float ~decimals:2) per_bench n =
+  let oks = List.filter_map Result.to_option per_bench in
+  if List.length oks <> List.length per_bench then
+    List.init n (fun _ -> hole_cell)
+  else List.init n (fun i -> fmt (mean_at oks i))
 
 let suite_results scale suite =
   List.map (characterize scale) (W.Suites.by_suite suite)
@@ -571,28 +662,27 @@ let fig4 scale =
 let fig5_suite_mpki ~jobs scale suite =
   let profiles = W.Suites.by_suite suite in
   let names = Array.of_list F.Zoo.all_names in
-  let per_bench =
-    if fused_enabled () then
-      sweep_map ~jobs profiles (Array.length names) (fun p lo hi ->
-          let specs =
-            Array.init (hi - lo) (fun i -> A.Bp_sweep.of_name names.(lo + i))
-          in
-          Array.map
-            (fun r -> A.Bp_sweep.mpki r total)
-            (A.Bp_sweep.run (source scale p) specs))
-    else
-      Engine.map ~jobs
-        (fun (p : W.Profile.t) ->
-          let sims =
-            List.map
-              (fun n -> A.Bp_sim.create (F.Zoo.by_name n))
-              F.Zoo.all_names
-          in
-          A.Bp_sim.run_all (source scale p) sims;
-          Array.of_list (List.map (fun s -> A.Bp_sim.mpki s total) sims))
-        profiles
-  in
-  List.mapi (fun i name -> (name, mean_at per_bench i)) F.Zoo.all_names
+  let where = "fig5/" ^ Suite.to_string suite in
+  if fused_enabled () then
+    sweep_map ~jobs ~where profiles (Array.length names) (fun p lo hi ->
+        let specs =
+          Array.init (hi - lo) (fun i -> A.Bp_sweep.of_name names.(lo + i))
+        in
+        Array.map
+          (fun r -> A.Bp_sweep.mpki r total)
+          (A.Bp_sweep.run (source scale p) specs))
+  else
+    bench_map ~jobs ~where
+      (fun (p : W.Profile.t) -> p.name)
+      (fun (p : W.Profile.t) ->
+        let sims =
+          List.map
+            (fun n -> A.Bp_sim.create (F.Zoo.by_name n))
+            F.Zoo.all_names
+        in
+        A.Bp_sim.run_all (source scale p) sims;
+        Array.of_list (List.map (fun s -> A.Bp_sim.mpki s total) sims))
+      profiles
 
 let fig5 ~jobs scale =
   let t =
@@ -602,10 +692,10 @@ let fig5 ~jobs scale =
   in
   List.iter
     (fun suite ->
-      let measured = fig5_suite_mpki ~jobs scale suite in
+      let per_bench = fig5_suite_mpki ~jobs scale suite in
       Table.add_row t
         (Suite.to_string suite
-        :: List.map (fun (_, v) -> f2 v) measured);
+        :: mean_cells per_bench (List.length F.Zoo.all_names));
       let paper =
         List.assoc_opt suite
           (List.map (fun (s, l) -> (s, l)) Paper_data.fig5_mpki)
@@ -641,8 +731,9 @@ let fig6 ~jobs scale =
               (n ^ " tf", Table.Right) ])
           configs)
   in
+  let ncells = List.length configs * List.length A.Bp_sim.causes in
   let rows =
-    Engine.map ~jobs
+    bench_map ~jobs ~where:"fig6" Fun.id
       (fun name ->
         let p = W.Suites.find name in
         let cells =
@@ -669,10 +760,15 @@ let fig6 ~jobs scale =
               sims
           end
         in
-        name :: cells)
+        cells)
       W.Suites.fig6_subset
   in
-  List.iter (Table.add_row t) rows;
+  List.iter2
+    (fun name row ->
+      match row with
+      | Ok cells -> Table.add_row t (name :: cells)
+      | Error () -> Table.add_row t (name :: List.init ncells (fun _ -> hole_cell)))
+    W.Suites.fig6_subset rows;
   [ t ]
 
 (* ------------------------------------------------------------------ *)
@@ -695,15 +791,17 @@ let fig7 ~jobs scale =
   List.iter
     (fun suite ->
       let profiles = W.Suites.by_suite suite in
+      let where = "fig7/" ^ Suite.to_string suite in
       let per_bench =
         if fused_enabled () then
-          sweep_map ~jobs profiles (Array.length configs) (fun p lo hi ->
+          sweep_map ~jobs ~where profiles (Array.length configs) (fun p lo hi ->
               Array.map
                 (fun r -> A.Btb_sweep.mpki r total)
                 (A.Btb_sweep.run (source scale p)
                    (Array.sub configs lo (hi - lo))))
         else
-          Engine.map ~jobs
+          bench_map ~jobs ~where
+            (fun (p : W.Profile.t) -> p.name)
             (fun (p : W.Profile.t) ->
               let sims =
                 List.map
@@ -716,14 +814,15 @@ let fig7 ~jobs scale =
       in
       Table.add_row t
         (Suite.to_string suite
-        :: List.mapi (fun i _ -> f2 (mean_at per_bench i)) btb_configs))
+        :: mean_cells per_bench (List.length btb_configs)))
     Suite.all;
   [ t ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig 8 / Fig 9 *)
 
-let icache_table ~jobs ~title ~configs ~benchmarks scale per_suite =
+let icache_table ~jobs ~where:where_root ~title ~configs ~benchmarks scale
+    per_suite =
   let t =
     Table.create ~title
       ([ ((if per_suite then "suite" else "benchmark"), Table.Left) ]
@@ -733,14 +832,15 @@ let icache_table ~jobs ~title ~configs ~benchmarks scale per_suite =
           configs)
   in
   let carr = Array.of_list configs in
-  let mpki_rows profiles =
+  let mpki_rows ~where profiles =
     if fused_enabled () then
-      sweep_map ~jobs profiles (Array.length carr) (fun p lo hi ->
+      sweep_map ~jobs ~where profiles (Array.length carr) (fun p lo hi ->
           Array.map
             (fun r -> A.Icache_sweep.mpki r total)
             (A.Icache_sweep.run (source scale p) (Array.sub carr lo (hi - lo))))
     else
-      Engine.map ~jobs
+      bench_map ~jobs ~where
+        (fun (p : W.Profile.t) -> p.name)
         (fun (p : W.Profile.t) ->
           let sims =
             List.map
@@ -755,16 +855,20 @@ let icache_table ~jobs ~title ~configs ~benchmarks scale per_suite =
   if per_suite then
     List.iter
       (fun suite ->
-        let per_bench = mpki_rows (W.Suites.by_suite suite) in
+        let where = where_root ^ "/" ^ Suite.to_string suite in
+        let per_bench = mpki_rows ~where (W.Suites.by_suite suite) in
         Table.add_row t
-          (Suite.to_string suite
-          :: List.mapi (fun i _ -> f2 (mean_at per_bench i)) configs))
+          (Suite.to_string suite :: mean_cells per_bench (List.length configs)))
       Suite.all
   else begin
-    let rows = mpki_rows (List.map W.Suites.find benchmarks) in
+    let rows = mpki_rows ~where:where_root (List.map W.Suites.find benchmarks) in
     List.iter2
       (fun name row ->
-        Table.add_row t (name :: Array.to_list (Array.map f2 row)))
+        match row with
+        | Ok arr -> Table.add_row t (name :: Array.to_list (Array.map f2 arr))
+        | Error () ->
+            Table.add_row t
+              (name :: List.map (fun _ -> hole_cell) configs))
       benchmarks rows
   end;
   t
@@ -775,8 +879,8 @@ let fig8 ~jobs scale =
       (fun size -> List.map (fun a -> (size, 64, a)) [ 2; 4; 8 ])
       [ 8192; 16384; 32768 ]
   in
-  [ icache_table ~jobs ~title:"Fig 8: I-cache MPKI (64B lines)" ~configs
-      ~benchmarks:[] scale true ]
+  [ icache_table ~jobs ~where:"fig8" ~title:"Fig 8: I-cache MPKI (64B lines)"
+      ~configs ~benchmarks:[] scale true ]
 
 let fig9 ~jobs scale =
   let configs =
@@ -785,8 +889,9 @@ let fig9 ~jobs scale =
       [ 32; 64; 128 ]
   in
   let mpki_tbl =
-    icache_table ~jobs ~title:"Fig 9: I-cache MPKI across line widths (16KB)"
-      ~configs ~benchmarks:W.Suites.fig9_subset scale false
+    icache_table ~jobs ~where:"fig9"
+      ~title:"Fig 9: I-cache MPKI across line widths (16KB)" ~configs
+      ~benchmarks:W.Suites.fig9_subset scale false
   in
   (* Line usefulness, paper Section IV-C *)
   let useful =
@@ -796,22 +901,28 @@ let fig9 ~jobs scale =
   in
   List.iter
     (fun suite ->
-      let values =
-        List.filter_map Fun.id
-          (Engine.map ~jobs
-             (fun (p : W.Profile.t) ->
-               let sim =
-                 A.Icache_sim.create ~size_bytes:16384 ~line_bytes:128
-                   ~assoc:8 ()
-               in
-               A.Icache_sim.run_all (source scale p) [ sim ];
-               let v = A.Icache_sim.usefulness sim in
-               if Float.is_nan v then None else Some v)
-             (W.Suites.by_suite suite))
+      let per_bench =
+        bench_map ~jobs
+          ~where:("fig9-usefulness/" ^ Suite.to_string suite)
+          (fun (p : W.Profile.t) -> p.name)
+          (fun (p : W.Profile.t) ->
+            let sim =
+              A.Icache_sim.create ~size_bytes:16384 ~line_bytes:128 ~assoc:8 ()
+            in
+            A.Icache_sim.run_all (source scale p) [ sim ];
+            A.Icache_sim.usefulness sim)
+          (W.Suites.by_suite suite)
+      in
+      let measured =
+        let oks = List.filter_map Result.to_option per_bench in
+        if List.length oks <> List.length per_bench then hole_cell
+        else
+          Table.fmt_pct
+            (Repro_util.Stats.mean
+               (List.filter (fun v -> not (Float.is_nan v)) oks))
       in
       Table.add_row useful
-        [ Suite.to_string suite;
-          Table.fmt_pct (Repro_util.Stats.mean values);
+        [ Suite.to_string suite; measured;
           (if Suite.is_hpc suite then
              Table.fmt_pct Paper_data.fig9_line_usefulness_hpc
            else Table.fmt_pct Paper_data.fig9_line_usefulness_int) ])
@@ -994,14 +1105,20 @@ let fig11 scale =
 
 (* Parallel prefetch of the memoized quantities an experiment reads:
    the table-building code afterwards only takes memo hits, so its
-   (deterministic) row order never depends on worker scheduling. *)
+   (deterministic) row order never depends on worker scheduling.
+
+   Prefetch is purely a warm-up, so failures are swallowed rather
+   than recorded as holes: a benchmark whose prefetch died (e.g. its
+   packed-trace capture kept hitting the [trace.capture] fault site)
+   is recomputed on the synchronous path when the table code reads
+   it, and only a failure there is a real loss. *)
 let prefetch ~jobs scale id =
-  let charz profiles = ignore (Engine.map ~jobs (characterize scale) profiles) in
-  let cmps profiles = ignore (Engine.map ~jobs (evaluate_cmps scale) profiles) in
+  let sup f profiles = ignore (Engine.map_result ~jobs f profiles) in
+  let charz profiles = sup (fun p -> ignore (characterize scale p)) profiles in
+  let cmps profiles = sup (fun p -> ignore (evaluate_cmps scale p)) profiles in
   let traces profiles =
     if packed_enabled () then
-      ignore
-        (Engine.map ~jobs (fun p -> ignore (packed_trace scale p)) profiles)
+      sup (fun p -> ignore (packed_trace scale p)) profiles
   in
   match id with
   | Fig1 | Fig2 | Tab1 | Fig3 | Fig4 -> charz W.Suites.all
@@ -1011,24 +1128,44 @@ let prefetch ~jobs scale id =
   | Fig6 -> traces (List.map W.Suites.find W.Suites.fig6_subset)
   | Tab2 | Tab3 -> ()
 
+(* Appendix rendered after a degraded run: one row per lost
+   measurement, so a "!" in a table above is traceable to the
+   structured failure that caused it. *)
+let degraded_table holes =
+  let t =
+    Table.create
+      ~title:"Degraded run: failed measurements (marked ! above)"
+      [ ("measurement", Table.Left); ("failure", Table.Left) ]
+  in
+  List.iter
+    (fun (where, fl) -> Table.add_row t [ where; Failure.to_string fl ])
+    holes;
+  t
+
 let run ?(scale = 1.0) ?jobs id =
   let jobs =
     match jobs with Some j -> j | None -> Engine.default_jobs ()
   in
-  Repro_util.Telemetry.with_span ("experiment." ^ to_string id) (fun () ->
-  prefetch ~jobs scale id;
-  match id with
-  | Fig1 -> fig1 scale
-  | Fig2 -> fig2 scale
-  | Tab1 -> tab1 scale
-  | Fig3 -> fig3 scale
-  | Fig4 -> fig4 scale
-  | Fig5 -> fig5 ~jobs scale
-  | Fig6 -> fig6 ~jobs scale
-  | Fig7 -> fig7 ~jobs scale
-  | Fig8 -> fig8 ~jobs scale
-  | Fig9 -> fig9 ~jobs scale
-  | Tab2 -> tab2 ()
-  | Tab3 -> tab3 ()
-  | Fig10 -> fig10 scale
-  | Fig11 -> fig11 scale)
+  clear_holes ();
+  let tables =
+    Repro_util.Telemetry.with_span ("experiment." ^ to_string id) (fun () ->
+    prefetch ~jobs scale id;
+    match id with
+    | Fig1 -> fig1 scale
+    | Fig2 -> fig2 scale
+    | Tab1 -> tab1 scale
+    | Fig3 -> fig3 scale
+    | Fig4 -> fig4 scale
+    | Fig5 -> fig5 ~jobs scale
+    | Fig6 -> fig6 ~jobs scale
+    | Fig7 -> fig7 ~jobs scale
+    | Fig8 -> fig8 ~jobs scale
+    | Fig9 -> fig9 ~jobs scale
+    | Tab2 -> tab2 ()
+    | Tab3 -> tab3 ()
+    | Fig10 -> fig10 scale
+    | Fig11 -> fig11 scale)
+  in
+  match holes () with
+  | [] -> tables
+  | hs -> tables @ [ degraded_table hs ]

@@ -43,7 +43,30 @@ val run : ?scale:float -> ?jobs:int -> id -> Repro_util.Table.t list
     use ~0.05 for speed, at some fidelity cost). [jobs] bounds the
     {!Engine} pool sharding per-benchmark work (default
     {!Engine.default_jobs}; [1] forces a sequential run). The
-    rendered tables do not depend on [jobs]. *)
+    rendered tables do not depend on [jobs].
+
+    Per-benchmark measurements of the trace-simulating experiments
+    (figs 5-9) run supervised: a benchmark that still fails after
+    {!Engine}'s retry budget degrades to a ["!"] hole — every cell an
+    aggregate row would have drawn from it renders as ["!"] (never a
+    silent mean over the survivors) and a final "Degraded run" table
+    lists each lost measurement with its structured failure. In
+    strict mode the first such failure raises {!Failure.Error}
+    instead. *)
+
+val holes : unit -> (string * Failure.t) list
+(** Degradation holes recorded by the most recent {!run} (cleared at
+    the start of each run): [(measurement, failure)] in the order
+    they were recorded. Empty after a clean run — or any run in
+    strict mode. *)
+
+val set_strict : bool -> unit
+(** Enable or disable strict (fail-fast) mode, overriding
+    [REPRO_STRICT]. When strict, a supervised measurement failure
+    raises {!Failure.Error} out of {!run} instead of degrading to a
+    hole. Default: degrade (unless [REPRO_STRICT=1]). *)
+
+val strict_enabled : unit -> bool
 
 val clear_cache : ?disk:bool -> unit -> unit
 (** Drop memoized characterizations, measurements and packed traces;

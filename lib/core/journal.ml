@@ -1,0 +1,190 @@
+module Telemetry = Repro_util.Telemetry
+module Faults = Repro_util.Faults
+
+(* File layout:
+
+     RJOURNAL1 <32-hex fingerprint digest>\n
+     RJ1 <steplen> <paylen> <32-hex body digest>\n<step><payload>
+     RJ1 ...
+
+   Each record's digest covers "<step>\x00<payload>", so neither a
+   torn tail nor bit-rot can replay as a completed step; the header
+   fingerprint ties the whole file to one (benchmark list, scale,
+   schema, tool version) so a journal can never resume a different
+   run's results. *)
+
+let file_magic = "RJOURNAL1 "
+let rec_magic = "RJ1 "
+
+type t = { jpath : string; mutable fd : Unix.file_descr option }
+
+let path t = t.jpath
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '_')
+    name
+
+let journal_path name =
+  Filename.concat (Filename.concat (Cache.dir ()) "journal")
+    (sanitize name ^ ".journal")
+
+let header fingerprint =
+  file_magic ^ Digest.to_hex (Digest.string fingerprint) ^ "\n"
+
+(* Parse the valid prefix of [s] after a matching header. Returns the
+   recovered records in order plus the byte offset where validity
+   ends — everything past it is a torn or corrupt tail to truncate
+   away. *)
+let parse_records s =
+  let len = String.length s in
+  let records = ref [] in
+  let pos = ref (String.length file_magic + 33) in
+  let ok = ref true in
+  while !ok && !pos < len do
+    let start = !pos in
+    match String.index_from_opt s start '\n' with
+    | None -> ok := false
+    | Some nl -> (
+        let line = String.sub s start (nl - start) in
+        match String.split_on_char ' ' line with
+        | [ m; sl; pl; hex ]
+          when m ^ " " = rec_magic
+               && String.length hex = 32 -> (
+            match (int_of_string_opt sl, int_of_string_opt pl) with
+            | Some steplen, Some paylen
+              when steplen > 0 && paylen >= 0
+                   && nl + 1 + steplen + paylen <= len ->
+                let step = String.sub s (nl + 1) steplen in
+                let payload = String.sub s (nl + 1 + steplen) paylen in
+                if
+                  String.equal hex
+                    (Digest.to_hex (Digest.string (step ^ "\x00" ^ payload)))
+                then begin
+                  records := (step, payload) :: !records;
+                  pos := nl + 1 + steplen + paylen
+                end
+                else ok := false
+            | _ -> ok := false)
+        | _ -> ok := false)
+  done;
+  (List.rev !records, !pos)
+
+let warned = ref false
+
+let warn_disabled msg =
+  if not !warned then begin
+    warned := true;
+    Printf.eprintf
+      "frontend-repro: journal disabled (%s); runs will not be resumable\n%!"
+      msg
+  end
+
+let open_run ~name ~fingerprint =
+  try
+    mkdir_p (Filename.concat (Cache.dir ()) "journal");
+    let jpath = journal_path name in
+    let hdr = header fingerprint in
+    let existing =
+      match In_channel.with_open_bin jpath In_channel.input_all with
+      | s -> Some s
+      | exception Sys_error _ -> None
+    in
+    let recovered, valid_len =
+      match existing with
+      | Some s
+        when String.length s >= String.length hdr
+             && String.equal (String.sub s 0 (String.length hdr)) hdr ->
+          let records, endpos = parse_records s in
+          if endpos < String.length s then
+            Telemetry.incr "journal.truncated";
+          (records, endpos)
+      | Some _ ->
+          (* Stale fingerprint (different benchmarks, scale or tool
+             version): resuming would replay the wrong run's results.
+             Start over. *)
+          ([], 0)
+      | None -> ([], 0)
+    in
+    let fd =
+      Unix.openfile jpath [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+    in
+    (try
+       if valid_len = 0 then begin
+         Unix.ftruncate fd 0;
+         let b = Bytes.of_string hdr in
+         ignore (Unix.write fd b 0 (Bytes.length b))
+       end
+       else begin
+         Unix.ftruncate fd valid_len;
+         ignore (Unix.lseek fd 0 Unix.SEEK_END)
+       end;
+       Unix.fsync fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    List.iter (fun _ -> Telemetry.incr "journal.recovered") recovered;
+    Some ({ jpath; fd = Some fd }, recovered)
+  with Unix.Unix_error (e, _, _) ->
+    warn_disabled (Unix.error_message e);
+    None
+
+let append t ~step ~payload =
+  match t.fd with
+  | None -> ()
+  | Some fd -> (
+      if Faults.fires "journal.append" then
+        (* Simulated append I/O failure: the record is dropped, so
+           this step reruns on resume — exactly what a full disk
+           would cost. *)
+        Telemetry.incr "journal.dropped"
+      else begin
+        let body = step ^ "\x00" ^ payload in
+        let entry =
+          Printf.sprintf "%s%d %d %s\n%s%s" rec_magic (String.length step)
+            (String.length payload)
+            (Digest.to_hex (Digest.string body))
+            step payload
+        in
+        let entry =
+          if Faults.fires "journal.torn" then begin
+            (* Simulated crash mid-append: half the record reaches
+               disk. [open_run]'s digest check truncates it away. *)
+            Telemetry.incr "journal.torn_writes";
+            String.sub entry 0 (String.length entry / 2)
+          end
+          else entry
+        in
+        try
+          let b = Bytes.of_string entry in
+          ignore (Unix.write fd b 0 (Bytes.length b));
+          Unix.fsync fd;
+          Telemetry.incr "journal.appends"
+        with Unix.Unix_error (e, _, _) ->
+          (* Best-effort from here on: keep computing, stop
+             journaling. *)
+          warn_disabled (Unix.error_message e);
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          t.fd <- None
+      end)
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      t.fd <- None
+
+let finish t =
+  close t;
+  try Sys.remove t.jpath with Sys_error _ -> ()

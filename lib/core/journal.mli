@@ -1,0 +1,54 @@
+(** Batch-level resume journal for interrupted benchmark runs.
+
+    One journal file per bench invocation lives under
+    [<cache dir>/journal/]. Every completed experiment appends one
+    digest-protected record (its rendered output plus its JSON row)
+    and the file is fsync'd, so a run killed at any point — even
+    mid-append — restarts from the last {e completed} experiment
+    instead of from scratch.
+
+    The format is torn-tail-tolerant by construction: each record
+    carries its own length header and an MD5 digest over the body,
+    and {!open_run} scans the file front-to-back, truncating at the
+    first record that is short, garbled, or digest-mismatched. A
+    crash mid-append therefore loses at most the record being
+    written, never an earlier one, and a stale journal (written by a
+    different benchmark list, scale, or tool version) is detected by
+    a fingerprint in the file header and discarded whole.
+
+    Journaling is best-effort: any I/O error while opening or
+    appending disables it for the rest of the run (counted in
+    telemetry, warned once on stderr) — the benchmarks themselves
+    are never at risk. Fault-torture runs drive the
+    [journal.append] (record dropped, as a full disk would drop it)
+    and [journal.torn] (record half-written) sites of
+    {!Repro_util.Faults} through {!append}; both degrade to "that
+    step reruns on resume", never to wrong replayed data. *)
+
+type t
+
+val open_run : name:string -> fingerprint:string -> (t * (string * string) list) option
+(** [open_run ~name ~fingerprint] opens (or creates) the journal for
+    a run. Returns the handle plus the [(step, payload)] records
+    recovered from a previous interrupted run with the same
+    fingerprint, in append order — an empty list for a fresh run or
+    a fingerprint mismatch. [None] when journaling is unavailable
+    (unwritable cache directory); the caller simply runs
+    unjournaled. Recovered and truncated records are counted in the
+    [journal.recovered] / [journal.truncated] telemetry counters. *)
+
+val append : t -> step:string -> payload:string -> unit
+(** Append one completed-step record and fsync. [step] must not be
+    empty; both strings may contain arbitrary bytes. Best-effort: an
+    I/O failure disables the journal for the rest of the run. *)
+
+val finish : t -> unit
+(** The run completed: close and delete the journal, so the next run
+    starts fresh. *)
+
+val close : t -> unit
+(** Close without deleting (used on abnormal exits that want the
+    journal kept for resume). *)
+
+val path : t -> string
+(** The journal file backing this handle. *)

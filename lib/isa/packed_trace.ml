@@ -1,4 +1,5 @@
 module Telemetry = Repro_util.Telemetry
+module Faults = Repro_util.Faults
 
 let default_chunk_capacity = 65536
 
@@ -136,6 +137,10 @@ let byte_size t =
 let of_trace ?(chunk_capacity = default_chunk_capacity) trace =
   if chunk_capacity < 1 then invalid_arg "Packed_trace.of_trace: chunk";
   Telemetry.with_span "trace.capture" (fun () ->
+      (* Fault-torture site: a simulated capture failure here is
+         Transient, so a supervised caller retries the whole capture
+         rather than keeping a half-built pack. *)
+      Faults.inject "trace.capture";
       let b =
         { cap = chunk_capacity;
           fill = 0;
