@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke bench bench-json ci ci-faults clean cache-clear
+.PHONY: all build test smoke bench bench-json ci ci-sampled ci-faults clean cache-clear
 
 all: build
 
@@ -37,21 +37,41 @@ bench-json: build
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
 
 # Full CI gate: build everything, run the whole test suite (golden,
-# qcheck differential, packed-replay and fused-sweep identity tests
-# included), then regenerate BENCH_results.json over the trace-sweep
-# figures — whose entries carry the stream-vs-replay probe (stream_ms
-# / replay_ms / sweep_speedup) and the fused-kernel probe (unfused_ms
-# / fused_ms / fused_speedup) — and validate the emitted schema (v3);
-# the check fails if any sweep's fused_speedup drops below 1.0.
+# qcheck differential, packed-replay, fused-sweep and sampling
+# identity/accuracy tests included), then regenerate
+# BENCH_results.json over the trace-sweep figures — whose entries
+# carry the stream-vs-replay probe (stream_ms / replay_ms /
+# sweep_speedup), the fused-kernel probe (unfused_ms / fused_ms /
+# fused_speedup) and the sampling probe (sampled_ms / sampled_speedup
+# / max_rel_error) — and validate the emitted schema (v5); the check
+# fails if any sweep's fused_speedup or sampled_speedup drops below
+# 1.0, or any max_rel_error exceeds 0.02.
 ci: build
 	$(DUNE) runtest
 	rm -f BENCH_results.json
 	REPRO_SCALE=0.05 REPRO_CACHE=0 \
 	  $(DUNE) exec bench/main.exe -- \
-	    fig1 fig5 fig7 fig8 fig9 --json BENCH_results.json
+	    fig1 fig5 fig7 fig8 fig9 --sample 0.25 --json BENCH_results.json
 	test -s BENCH_results.json
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
+	$(MAKE) ci-sampled
 	$(MAKE) ci-faults
+
+# Sampling gate: the trace-sweep figures under representative-region
+# sampling at fraction 0.25, over a fresh cache so the sampling spec
+# lands in every cache key and journal fingerprint from scratch. The
+# schema-v5 entries carry the sampled probe (sampled_ms /
+# sampled_speedup / max_rel_error); the check fails if any sweep's
+# sampled run is slower than the streaming run (sampled_speedup <
+# 1.0) or strays beyond the 2% accuracy gate (max_rel_error > 0.02).
+ci-sampled: build
+	rm -rf _sampled_cache BENCH_sampled.json
+	REPRO_SCALE=0.05 REPRO_CACHE_DIR=_sampled_cache \
+	  $(DUNE) exec bench/main.exe -- \
+	    fig5 fig7 fig8 fig9 --sample 0.25 --json BENCH_sampled.json
+	test -s BENCH_sampled.json
+	$(DUNE) exec bench/main.exe -- --check-json BENCH_sampled.json
+	rm -rf _sampled_cache BENCH_sampled.json
 
 # Fault-torture gate: the tier-1 suite plus a bench sweep with every
 # fault site firing at 5% (seed 42). Supervision must absorb the

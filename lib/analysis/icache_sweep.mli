@@ -23,7 +23,22 @@ val run :
   t array
 (** [run src configs] with [(size_bytes, line_bytes, assoc)] triples;
     result [i] corresponds to [configs.(i)]. [next_line_prefetch]
-    applies to every configuration of the sweep. *)
+    applies to every configuration of the sweep.
+
+    A [Sampled] source simulates every config over the plan's prefix
+    while a fixed pivot cache covers the full capture; each cell is
+    extrapolated per cluster when {!Regions.Cell.gate} bounds the
+    error ({!approx}/{!mpki_ci}), otherwise the config is escalated to
+    exact tail simulation continuing from its prefix state —
+    bit-identical to the unsampled run. For extrapolated configs,
+    {!accesses}/{!usefulness} reflect the simulated prefix only. *)
+
+val approx : t -> bool
+(** [true] when this result's cells are extrapolated rather than
+    counted. *)
+
+val mpki_ci : t -> Branch_mix.scope -> float
+(** 95% confidence half-width of {!mpki} (0 for exact results). *)
 
 val insts : t -> Branch_mix.scope -> int
 val misses : t -> Branch_mix.scope -> int

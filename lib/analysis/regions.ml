@@ -1,0 +1,501 @@
+module P = Repro_isa.Packed_trace
+module Inst = Repro_isa.Inst
+module Section = Repro_isa.Section
+module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
+
+(* Region sizing: phases shorter than [min_insts] are folded into the
+   running region (serial slivers between parallel bursts are not
+   phases worth sampling); phases longer than [max_insts] are split so
+   clustering sees sub-phase structure at full scale. Sizes are small
+   enough that even benchmark-scale captures (tens of thousands of
+   instructions at low --scale) yield dozens of regions — the
+   jackknife in {!Cell.gate} needs prefix sample counts, not just
+   instruction mass. *)
+let min_insts = 512
+let max_insts = 2048
+
+(* BBV dimensionality: hashed fetch-redirect targets, plus two slots
+   of section mass so serial and parallel phases can never merge. *)
+let bbv_dim = 64
+
+type region = {
+  lo : int;
+  hi : int;
+  counted_s : int;
+  counted_p : int;
+  conds_s : int;
+  conds_p : int;
+  redirects_s : int;
+  redirects_p : int;
+  cluster : int;
+}
+
+type t = {
+  regions : region array;
+  k : int;
+  prefix_regions : int;
+  prefix_end : int;
+  fraction : float;
+  covered : float;
+  exhaustive : bool;
+  seed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: phase-aligned region boundaries plus per-region counts and
+   raw BBVs, in one cheap decode of the capture (no simulators). *)
+
+type raw = {
+  mutable r_lo : int;
+  mutable r_cs : int;
+  mutable r_cp : int;
+  mutable r_conds : int;
+  mutable r_condp : int;
+  mutable r_reds : int;
+  mutable r_redp : int;
+  bbv : float array;
+}
+
+let fresh_raw lo =
+  { r_lo = lo; r_cs = 0; r_cp = 0; r_conds = 0; r_condp = 0; r_reds = 0;
+    r_redp = 0; bbv = Array.make (bbv_dim + 2) 0.0 }
+
+let scan pt =
+  let out = ref [] in
+  let cur = ref (fresh_raw 0) in
+  let pos = ref 0 in
+  let last_section = ref None in
+  let close hi =
+    let c = !cur in
+    if hi > c.r_lo then begin
+      out :=
+        { lo = c.r_lo;
+          hi;
+          counted_s = c.r_cs;
+          counted_p = c.r_cp;
+          conds_s = c.r_conds;
+          conds_p = c.r_condp;
+          redirects_s = c.r_reds;
+          redirects_p = c.r_redp;
+          cluster = 0 }
+        :: !out;
+      c.r_lo <- hi
+    end
+  in
+  let bbvs = ref [] in
+  let close_with_bbv hi =
+    let c = !cur in
+    if hi > c.r_lo then begin
+      (* L1-normalize the target histogram; the two section slots get
+         the region's section mass so phases of different kinds land
+         in different clusters. *)
+      let tot = Array.fold_left ( +. ) 0.0 c.bbv in
+      let b =
+        Array.map (fun v -> if tot > 0.0 then v /. tot else 0.0) c.bbv
+      in
+      let len = float_of_int (hi - c.r_lo) in
+      b.(bbv_dim) <- float_of_int (c.r_cs + c.r_conds) /. len;
+      b.(bbv_dim + 1) <- float_of_int c.r_cp /. len;
+      bbvs := b :: !bbvs;
+      close hi;
+      cur := fresh_raw hi
+    end
+  in
+  P.replay pt (fun (i : Inst.t) ->
+      (match !last_section with
+      | Some s
+        when s <> i.Inst.section && !pos - !cur.r_lo >= min_insts ->
+          close_with_bbv !pos
+      | _ -> ());
+      last_section := Some i.Inst.section;
+      let c = !cur in
+      if not i.Inst.warmup then begin
+        (match i.Inst.section with
+        | Section.Serial -> c.r_cs <- c.r_cs + 1
+        | Section.Parallel -> c.r_cp <- c.r_cp + 1);
+        if i.Inst.kind = Inst.Cond_branch then
+          match i.Inst.section with
+          | Section.Serial -> c.r_conds <- c.r_conds + 1
+          | Section.Parallel -> c.r_condp <- c.r_condp + 1
+      end;
+      (if i.Inst.taken && Inst.is_branch i && i.Inst.kind <> Inst.Syscall
+          && i.Inst.kind <> Inst.Return then begin
+         (if not i.Inst.warmup then
+            match i.Inst.section with
+            | Section.Serial -> c.r_reds <- c.r_reds + 1
+            | Section.Parallel -> c.r_redp <- c.r_redp + 1);
+         let h = (i.Inst.target * 0x9E3779B1) land max_int in
+         let slot = h mod bbv_dim in
+         c.bbv.(slot) <- c.bbv.(slot) +. 1.0
+       end);
+      incr pos;
+      if !pos - c.r_lo >= max_insts then close_with_bbv !pos);
+  close_with_bbv !pos;
+  (Array.of_list (List.rev !out), Array.of_list (List.rev !bbvs))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic k-means (k-means++ seeding, strict-improvement ties
+   keep the lowest index, fixed iteration cap). *)
+
+let dist2 a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    s := !s +. (d *. d)
+  done;
+  !s
+
+let kmeans ~seed ~k bbvs =
+  let n = Array.length bbvs in
+  let k = min k n in
+  let rng = Rng.create seed in
+  let dims = bbv_dim + 2 in
+  let centroids = Array.make k bbvs.(0) in
+  centroids.(0) <- Array.copy bbvs.(Rng.int rng n);
+  for c = 1 to k - 1 do
+    let d2 =
+      Array.map
+        (fun b ->
+          let best = ref infinity in
+          for j = 0 to c - 1 do
+            best := Float.min !best (dist2 b centroids.(j))
+          done;
+          !best)
+        bbvs
+    in
+    let tot = Array.fold_left ( +. ) 0.0 d2 in
+    if tot <= 0.0 then centroids.(c) <- Array.copy bbvs.(Rng.int rng n)
+    else begin
+      let r = Rng.float rng tot in
+      let acc = ref 0.0 and pick = ref (n - 1) in
+      (try
+         Array.iteri
+           (fun i v ->
+             acc := !acc +. v;
+             if !acc >= r then begin
+               pick := i;
+               raise Exit
+             end)
+           d2
+       with Exit -> ());
+      centroids.(c) <- Array.copy bbvs.(!pick)
+    end
+  done;
+  let assign = Array.make n 0 in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters < 50 do
+    incr iters;
+    changed := false;
+    Array.iteri
+      (fun i b ->
+        let best = ref 0 and bd = ref infinity in
+        for c = 0 to k - 1 do
+          let d = dist2 b centroids.(c) in
+          if d < !bd then begin
+            bd := d;
+            best := c
+          end
+        done;
+        if assign.(i) <> !best then begin
+          assign.(i) <- !best;
+          changed := true
+        end)
+      bbvs;
+    for c = 0 to k - 1 do
+      let members = ref 0 in
+      let sum = Array.make dims 0.0 in
+      Array.iteri
+        (fun i b ->
+          if assign.(i) = c then begin
+            incr members;
+            Array.iteri (fun j v -> sum.(j) <- sum.(j) +. v) b
+          end)
+        bbvs;
+      if !members > 0 then
+        centroids.(c) <-
+          Array.map (fun v -> v /. float_of_int !members) sum
+    done
+  done;
+  (assign, k)
+
+(* ------------------------------------------------------------------ *)
+
+let plan ~fraction ~seed pt =
+  let fraction = Float.max 0.01 (Float.min 1.0 fraction) in
+  let total = P.length pt in
+  let regions, bbvs = scan pt in
+  let n = Array.length regions in
+  if fraction >= 0.995 || n < 4 || total = 0 then
+    { regions;
+      k = (if n = 0 then 0 else 1);
+      prefix_regions = n;
+      prefix_end = total;
+      fraction;
+      covered = 1.0;
+      exhaustive = true;
+      seed }
+  else begin
+    let k = max 2 (min 8 (int_of_float (Float.round (sqrt (float_of_int n))))) in
+    let assign, k = kmeans ~seed ~k bbvs in
+    let regions =
+      Array.mapi (fun i r -> { r with cluster = assign.(i) }) regions
+    in
+    let target =
+      int_of_float (Float.round (fraction *. float_of_int total))
+    in
+    let p = ref 0 in
+    while !p < n && regions.(!p).lo < target do incr p done;
+    (* cluster-coverage extension: pull the prefix forward while some
+       tail cluster has no simulated member and the budget (1.5x the
+       target) allows. *)
+    let limit =
+      int_of_float (Float.round (1.5 *. fraction *. float_of_int total))
+    in
+    let covered_cluster = Array.make k false in
+    let recompute () =
+      Array.fill covered_cluster 0 k false;
+      for i = 0 to !p - 1 do covered_cluster.(regions.(i).cluster) <- true done
+    in
+    recompute ();
+    let uncovered () =
+      let u = ref false in
+      for i = !p to n - 1 do
+        if not covered_cluster.(regions.(i).cluster) then u := true
+      done;
+      !u
+    in
+    while !p < n && uncovered () && regions.(!p).hi <= limit do
+      covered_cluster.(regions.(!p).cluster) <- true;
+      incr p
+    done;
+    let p = max 1 !p in
+    if p >= n then
+      { regions;
+        k;
+        prefix_regions = n;
+        prefix_end = total;
+        fraction;
+        covered = 1.0;
+        exhaustive = true;
+        seed }
+    else
+      let prefix_end = regions.(p - 1).hi in
+      { regions;
+        k;
+        prefix_regions = p;
+        prefix_end;
+        fraction;
+        covered = float_of_int prefix_end /. float_of_int total;
+        exhaustive = false;
+        seed }
+  end
+
+let exhaustive t = t.exhaustive
+let default_tol = 0.02
+
+let total_insts t =
+  match Array.length t.regions with
+  | 0 -> 0
+  | n -> t.regions.(n - 1).hi
+
+let fingerprint t =
+  if t.exhaustive then Printf.sprintf "sample:%h:full" t.fraction
+  else Printf.sprintf "sample:%h:%d" t.fraction t.seed
+
+let describe t =
+  if t.exhaustive then
+    Printf.sprintf "exhaustive (%d regions)" (Array.length t.regions)
+  else
+    Printf.sprintf "%d regions, %d clusters, prefix %d/%d (%.0f%% of insts)"
+      (Array.length t.regions) t.k t.prefix_regions
+      (Array.length t.regions)
+      (100.0 *. t.covered)
+
+(* ------------------------------------------------------------------ *)
+
+module Cell = struct
+  type verdict =
+    | Exact
+    | Escalate
+    | Approx of { est : float; ci : float }
+
+  (* Telemetry: how each gate decision went, so a slow sampled run can
+     be diagnosed to its dominant escalation cause. *)
+  let count name = Repro_util.Telemetry.incr ("regions.gate." ^ name)
+
+  (* Shared analysis behind [gate] and [calibrate]: the control-variate
+     estimate of a cell's full-capture count from its prefix, and the
+     deviation distance the calibrated error model scales by.
+
+     The pivot's per-region counts are known over the whole capture, so
+     only the per-region difference [delta_r = cell_r - pivot_r] needs
+     extrapolating:
+
+       est = prefix_exact + pivot_tail + sum over tail clusters of
+             (cluster mean delta * cluster tail regions)
+
+     Clusters with two or more prefix members use their own mean
+     delta; the rest fall back to the global mean. Region 0 holds the
+     cold-start transient — measured exactly (it is always in the
+     prefix) but unrepresentative of the steady-state tail — so the
+     delta model starts at region 1.
+
+     [dev] is the total absolute deviation of the prefix deltas around
+     the cluster means the estimate actually used: zero for a
+     configuration locked to a constant offset from the pivot (whose
+     extrapolation is exact), growing with every erratic region. The
+     canary calibration measures its known error at its own [dev];
+     [gate] charges each unknown configuration the worst canary error
+     outright (the floor) plus that error re-scaled to the
+     configuration's larger deviation. *)
+  let analyze ~plan ~pivot ~prefix =
+    let n = Array.length plan.regions in
+    let p = plan.prefix_regions in
+    let exact = Array.fold_left ( +. ) 0.0 prefix in
+    let piv_tail = ref 0.0 in
+    let n_tail_c = Array.make plan.k 0 in
+    for r = p to n - 1 do
+      piv_tail := !piv_tail +. pivot.(r);
+      let c = plan.regions.(r).cluster in
+      n_tail_c.(c) <- n_tail_c.(c) + 1
+    done;
+    let delta = Array.init p (fun r -> prefix.(r) -. pivot.(r)) in
+    let d0 = 1 in
+    let sum_c = Array.make plan.k 0.0 and m_c = Array.make plan.k 0 in
+    let sum_g = ref 0.0 in
+    for r = d0 to p - 1 do
+      let c = plan.regions.(r).cluster in
+      sum_c.(c) <- sum_c.(c) +. delta.(r);
+      m_c.(c) <- m_c.(c) + 1;
+      sum_g := !sum_g +. delta.(r)
+    done;
+    let mg = !sum_g /. float_of_int (p - d0) in
+    let mean_of c =
+      if m_c.(c) >= 2 then sum_c.(c) /. float_of_int m_c.(c) else mg
+    in
+    let est_delta = ref 0.0 in
+    for c = 0 to plan.k - 1 do
+      if n_tail_c.(c) > 0 then
+        est_delta := !est_delta +. (mean_of c *. float_of_int n_tail_c.(c))
+    done;
+    let dev = ref 0.0 in
+    for r = d0 to p - 1 do
+      dev :=
+        !dev +. Float.abs (delta.(r) -. mean_of plan.regions.(r).cluster)
+    done;
+    (* The estimate never drops below the misses already counted in the
+       prefix: tail misses are never negative. *)
+    let est = Float.max (exact +. !piv_tail +. !est_delta) exact in
+    (est, !dev)
+
+  let budget ~tol ~floor v = tol *. Float.max v floor
+
+  (* Holdout self-test: predict the second half of the prefix from
+     cluster means fitted on the first half alone, exactly as the
+     real extrapolation predicts the tail from the whole prefix, and
+     scale the miss up to tail size. This is the only per-config
+     evidence of drift — a configuration that shadows the pivot
+     through the prefix but diverges once its structures train shows
+     up here, where neither its own deviation (zero) nor the canaries
+     (different configurations) can see it. *)
+  let holdout ~plan ~pivot ~prefix =
+    let n = Array.length plan.regions in
+    let p = plan.prefix_regions in
+    let d0 = 1 in
+    let h = d0 + ((p - d0) / 2) in
+    let delta = Array.init p (fun r -> prefix.(r) -. pivot.(r)) in
+    let sum_c = Array.make plan.k 0.0 and m_c = Array.make plan.k 0 in
+    let sum_g = ref 0.0 in
+    for r = d0 to h - 1 do
+      let c = plan.regions.(r).cluster in
+      sum_c.(c) <- sum_c.(c) +. delta.(r);
+      m_c.(c) <- m_c.(c) + 1;
+      sum_g := !sum_g +. delta.(r)
+    done;
+    let mg = !sum_g /. float_of_int (Stdlib.max 1 (h - d0)) in
+    let mean_of c =
+      if m_c.(c) >= 2 then sum_c.(c) /. float_of_int m_c.(c) else mg
+    in
+    let pred = ref 0.0 and act = ref 0.0 in
+    for r = h to p - 1 do
+      pred := !pred +. mean_of plan.regions.(r).cluster;
+      act := !act +. delta.(r)
+    done;
+    Float.abs (!pred -. !act)
+    *. (float_of_int (n - p) /. float_of_int (Stdlib.max 1 (p - h)))
+
+  let gate ~plan ~tol ~floor ~err_floor ~err_scale ~pivot ~prefix =
+    let n = Array.length plan.regions in
+    let p = plan.prefix_regions in
+    if Array.length pivot <> n then
+      invalid_arg "Regions.Cell.gate: pivot length";
+    if Array.length prefix <> p then
+      invalid_arg "Regions.Cell.gate: prefix length";
+    if plan.exhaustive || p >= n then Exact
+    else if p < 6 then begin
+      (* Region 0 is excluded from the delta model, and a mean over
+         fewer than 5 remaining samples is not evidence. *)
+      count "short_prefix";
+      Escalate
+    end
+    else begin
+      let est, dev = analyze ~plan ~pivot ~prefix in
+      let b = budget ~tol ~floor est in
+      (* [dev = 0] short-circuits so callers without canaries (the
+         lone per-config simulators) can pass [infinity] and still
+         extrapolate configurations locked to the pivot. The floor
+         applies regardless of deviation: a configuration tracking the
+         pivot perfectly in the prefix can still diverge in the tail,
+         and the canaries' own measured errors are the only evidence
+         of how large that divergence runs. *)
+      let scaled = if dev = 0.0 then 0.0 else err_scale *. dev in
+      let drift = holdout ~plan ~pivot ~prefix in
+      let predicted = Float.max (Float.max err_floor scaled) drift in
+      if Sys.getenv_opt "REGIONS_DEBUG" <> None then
+        Printf.eprintf
+          "gate: p=%d n=%d dev=%.1f drift=%.1f pred=%.1f b=%.1f est=%.1f\n" p n
+          dev drift predicted b est;
+      (* The model's three error terms are each measured, not bounded,
+         so only accept when the prediction clears the budget with
+         headroom; the reported interval stays the full budget. *)
+      if predicted *. 2.5 <= b then begin
+        count "approx";
+        Approx { est; ci = b }
+      end
+      else begin
+        count "wide_model";
+        Escalate
+      end
+    end
+
+  (* Canary calibration: [actual] is the full per-region cell vector
+     of a fixed configuration simulated over the whole capture, chosen
+     to bracket the sweep's design space. Extrapolating it from its
+     own prefix exactly as [gate] would and comparing against its
+     known total yields a measured error at a measured deviation
+     [(err, dev)]. [gate] charges every unknown configuration the
+     worst canary error as an outright floor — a canary that diverges
+     from the pivot only in the tail (deviation ~0 in the prefix yet a
+     real error against its total) is evidence of tail-only bias no
+     prefix statistic can see, and no sweep configuration may claim an
+     error smaller than what was measured on a known answer — plus the
+     canary's error-per-deviation price for configurations more
+     erratic than the canary itself. *)
+  let calibrate ~plan ~pivot ~actual =
+    let n = Array.length plan.regions in
+    if Array.length actual <> n then
+      invalid_arg "Regions.Cell.calibrate: actual length";
+    let p = plan.prefix_regions in
+    if plan.exhaustive || p >= n then Some (0.0, 0.0)
+    else if p < 6 then None
+    else begin
+      let est, dev = analyze ~plan ~pivot ~prefix:(Array.sub actual 0 p) in
+      let total = Array.fold_left ( +. ) 0.0 actual in
+      let e = Float.abs (est -. total) in
+      if Sys.getenv_opt "REGIONS_DEBUG" <> None then
+        Printf.eprintf "calibrate: err=%.1f dev=%.1f total=%.1f\n" e dev total;
+      Some (e, dev)
+    end
+end

@@ -1,0 +1,137 @@
+(** Representative-region sampling plans over a packed trace.
+
+    A plan partitions the capture into phase-aligned regions (a new
+    region starts at every serial/parallel section transition, with
+    long phases split and slivers merged), summarizes each region by
+    a basic-block vector built from its fetch-redirect targets, and
+    clusters the BBVs with deterministic k-means ({!Repro_util.Rng}
+    seeded from the profile digest, SimPoint-style after Ferrerón et
+    al., "Crossing the Architectural Barrier").
+
+    Representatives are the {e earliest} member of each cluster, so
+    the simulated set collapses to one contiguous prefix: simulator
+    state inside the prefix is always exactly the state of the full
+    run — there is no checkpoint or warmup-truncation bias, and the
+    whole startup transient (where large structures take their
+    compulsory misses) is measured, never extrapolated. Only the tail
+    is estimated, per cluster, against a pivot configuration that
+    simulates the full capture ({!Cell.gate}).
+
+    Accuracy is {e statistically gated} per table cell with a
+    calibrated error model built from three measured error terms: the
+    worst error of fixed canary configurations (bracketing the design
+    space, simulated over the full capture and extrapolated against
+    their own known totals, {!Cell.calibrate}) charged to every
+    configuration as a floor; the canaries' error-per-deviation price
+    for configurations more erratic than the canaries; and a
+    per-configuration holdout (the second half of the prefix
+    predicted from the first, scaled to tail size) that catches drift
+    the canaries cannot see. A cell is extrapolated only when the
+    combined prediction clears the tolerance budget with headroom
+    ({!Cell.gate}); otherwise the caller escalates that configuration
+    to exact tail simulation (continuing from its prefix state, which
+    reproduces the full run bit for bit). A plan at fraction 1.0 — or over a trace too short to
+    sample — is {!exhaustive}, and every sampled code path must then
+    match the unsampled one exactly. *)
+
+type region = {
+  lo : int;  (** first instruction position (inclusive) *)
+  hi : int;  (** one past the last position *)
+  counted_s : int;  (** non-warmup serial instructions *)
+  counted_p : int;
+  conds_s : int;  (** non-warmup conditional branches *)
+  conds_p : int;
+  redirects_s : int;  (** non-warmup taken non-sys/non-ret branches *)
+  redirects_p : int;
+  cluster : int;
+}
+
+type t = private {
+  regions : region array;
+  k : int;  (** number of clusters *)
+  prefix_regions : int;  (** regions [0..prefix_regions-1] simulated *)
+  prefix_end : int;  (** instruction position ending the prefix *)
+  fraction : float;  (** requested sampling fraction *)
+  covered : float;  (** achieved simulated-instruction fraction *)
+  exhaustive : bool;  (** plan degenerates to full simulation *)
+  seed : int;
+}
+
+val plan : fraction:float -> seed:int -> Repro_isa.Packed_trace.t -> t
+(** Build a plan. [fraction] is the target share of instructions the
+    non-pivot configurations simulate; it is clamped to [0.01..1.0].
+    The prefix is extended past the target when that lets it cover a
+    cluster that would otherwise have no simulated member (up to 1.5x
+    the target). Fractions at or above 0.995, or traces with fewer
+    than 4 regions, produce an {!exhaustive} plan. Deterministic in
+    [(fraction, seed, capture)]. *)
+
+val exhaustive : t -> bool
+
+val default_tol : float
+(** Relative tolerance (0.02) the sampling-aware kernels pass to
+    {!Cell.gate} — matches the [max_rel_error] gate in the bench
+    harness. *)
+
+val total_insts : t -> int
+(** Capture length in instructions (warmup included). *)
+
+val fingerprint : t -> string
+(** Compact token describing the sampling spec — folded into cache
+    keys and journal fingerprints so sampled and unsampled results
+    can never collide. *)
+
+val describe : t -> string
+(** One-line human summary (regions, clusters, coverage). *)
+
+(** Per-cell gated extrapolation: decide, for one counter cell of one
+    configuration, whether the prefix evidence supports estimating
+    the tail, and with what confidence interval. *)
+module Cell : sig
+  type verdict =
+    | Exact  (** nothing to extrapolate: the prefix covers the trace *)
+    | Escalate
+        (** evidence too weak for the tolerance: simulate the tail *)
+    | Approx of { est : float; ci : float }
+        (** extrapolated total count and 95% half-width, both in the
+            cell's count units *)
+
+  val gate :
+    plan:t ->
+    tol:float ->
+    floor:float ->
+    err_floor:float ->
+    err_scale:float ->
+    pivot:float array ->
+    prefix:float array ->
+    verdict
+  (** [gate ~plan ~tol ~floor ~err_floor ~err_scale ~pivot ~prefix]
+      where [pivot] has one entry per region (the pivot
+      configuration's cell counts over the full capture) and [prefix]
+      has one entry per prefix region (this cell's exact counts).
+      [err_floor] and [err_scale] come from this cell's canaries
+      ({!calibrate}): the floor is the worst canary error measured
+      against a known answer — no sweep configuration may claim less —
+      and the scale prices deviation beyond the canaries' own. The
+      predicted error is [max err_floor (err_scale *. dev)] for this
+      configuration's deviation [dev]; the error budget it must fit in
+      is [tol *. max est floor], where [floor] expresses the caller's
+      materiality threshold in count units (e.g. the counts
+      corresponding to 1.0 MPKI). The reported [ci] is the budget, so
+      a cell within tolerance is always within its interval. Callers
+      with no canaries pass [~err_floor:0.0 ~err_scale:infinity]:
+      only deviation-zero configurations extrapolate. *)
+
+  val calibrate :
+    plan:t -> pivot:float array -> actual:float array -> (float * float) option
+  (** Canary calibration. [actual] is the full per-region cell vector
+      of a fixed configuration the caller simulated over the whole
+      capture, chosen to bracket the sweep's design space. The canary
+      is extrapolated from its own prefix exactly as {!gate} would and
+      its estimate compared against its known total: the result is
+      [Some (err, dev)], the observed absolute error at the canary's
+      own prefix deviation. Callers fold canaries into the [err_floor]
+      (max of the errors) and [err_scale] (max of [err /. max dev 1.])
+      they pass to {!gate}. [None] means the prefix is too short to
+      extrapolate at all and every configuration must escalate. *)
+end

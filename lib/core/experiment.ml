@@ -174,6 +174,65 @@ let fused_enabled () =
   | None -> env_flag "REPRO_FUSED" ~default:true
 
 (* ------------------------------------------------------------------ *)
+(* Representative-region sampling (figs 5-9).
+
+   [REPRO_SAMPLE=FRAC] / [--sample FRAC] makes the trace-simulating
+   sweeps run over a {!Repro_analysis.Regions} plan instead of the
+   full capture: each benchmark's packed trace is partitioned into
+   phase-aligned regions, clustered by basic-block vector, and only a
+   contiguous representative prefix is simulated per configuration —
+   the tail is extrapolated per cluster when the statistical gate
+   bounds the error under {!Repro_analysis.Regions.default_tol}, or
+   simulated exactly otherwise. Extrapolated cells render with a "≈"
+   marker. A fraction at or above 0.995 (or at most four regions)
+   degenerates to the exact code path bit for bit. *)
+
+let warn_once name msg =
+  locked (fun () ->
+      if not (Hashtbl.mem env_flag_warned name) then begin
+        Hashtbl.add env_flag_warned name ();
+        Printf.eprintf "%s\n%!" msg
+      end)
+
+(* Mirrors Engine's REPRO_JOBS handling: malformed values warn once
+   and fall back; out-of-range values warn once and clamp. *)
+let clamp_fraction ~where f =
+  let f' =
+    if f < 0.01 || f > 1.0 then begin
+      warn_once ("sample-clamp:" ^ where)
+        (Printf.sprintf
+           "frontend-repro: clamping %s=%g to the accepted sampling range \
+            [0.01, 1.0]"
+           where f);
+      Float.max 0.01 (Float.min 1.0 f)
+    end
+    else f
+  in
+  (* at or above 0.995 the plan is exhaustive anyway: run unsampled *)
+  if f' >= 0.995 then None else Some f'
+
+let sample_override : float option option ref = ref None
+let set_sampled f = sample_override := Some f
+
+let sample_fraction () =
+  match !sample_override with
+  | Some None -> None
+  | Some (Some f) -> clamp_fraction ~where:"--sample" f
+  | None -> (
+      match Sys.getenv_opt "REPRO_SAMPLE" with
+      | None -> None
+      | Some s -> (
+          match float_of_string_opt s with
+          | None ->
+              warn_once "REPRO_SAMPLE"
+                (Printf.sprintf
+                   "frontend-repro: ignoring invalid REPRO_SAMPLE=%S (want a \
+                    fraction in [0.01, 1.0], e.g. 0.25); sampling disabled"
+                   s);
+              None
+          | Some f -> clamp_fraction ~where:"REPRO_SAMPLE" f))
+
+(* ------------------------------------------------------------------ *)
 (* Strict mode and degradation holes.
 
    A benchmark whose supervised measurement fails (after Engine's
@@ -297,11 +356,40 @@ let packed_trace scale (p : W.Profile.t) =
           end);
       pt
 
+(* Sampling plans, memoized like the other measurements: per
+   (benchmark, scale, fraction) in-process and persisted through
+   {!Cache} with the fraction folded into the key kind, so sampled
+   and unsampled artifacts can never collide. *)
+let plans : (string * float * float, A.Regions.t) Hashtbl.t = Hashtbl.create 64
+
+(* Deterministic clustering seed from the profile's full content:
+   re-runs of one profile always cluster identically, and any profile
+   edit reshuffles the k-means initialization. *)
+let plan_seed (p : W.Profile.t) =
+  let d = Digest.to_hex (Digest.string (W.Profile_io.to_string p)) in
+  int_of_string ("0x" ^ String.sub d 0 8)
+
+let region_plan scale fraction (p : W.Profile.t) =
+  let key = (p.name, scale, fraction) in
+  match locked (fun () -> Hashtbl.find_opt plans key) with
+  | Some pl -> pl
+  | None ->
+      let pl =
+        Cache.memoize
+          (Cache.key ~profile:p ~scale
+             ~kind:(Printf.sprintf "plan:%h" fraction))
+          (fun () ->
+            A.Regions.plan ~fraction ~seed:(plan_seed p) (packed_trace scale p))
+      in
+      locked (fun () -> Hashtbl.replace plans key pl);
+      pl
+
 let clear_cache ?(disk = false) () =
   locked (fun () ->
       Hashtbl.reset characterizations;
       Hashtbl.reset cmp_evals;
       Hashtbl.reset packed_traces;
+      Hashtbl.reset plans;
       packed_bytes := 0);
   if disk then Cache.clear ()
 
@@ -317,6 +405,18 @@ let source scale (p : W.Profile.t) =
   if packed_enabled () then A.Tool.Source.of_packed (packed_trace scale p)
   else
     A.Tool.Source.of_trace (W.Executor.trace (W.Executor.create ~insts p))
+
+(* Source for the sweep simulations of figs 5-9: with sampling active
+   (and a packed capture to sample from), the capture is wrapped in
+   its representative-region plan; an exhaustive plan collapses to
+   the plain packed source inside [of_sampled]. *)
+let sampled_source scale (p : W.Profile.t) =
+  match sample_fraction () with
+  | Some f when packed_enabled () ->
+      let insts = scaled_insts p scale in
+      note_sim_insts insts;
+      A.Tool.Source.of_sampled (packed_trace scale p) (region_plan scale f p)
+  | _ -> source scale p
 
 let serial = A.Branch_mix.Only Repro_isa.Section.Serial
 let parallel = A.Branch_mix.Only Repro_isa.Section.Parallel
@@ -413,13 +513,19 @@ let sweep_map ~jobs ~where profiles nconfigs run_range =
     stitch profiles parts
   end
 
-(* Mean of column [i] across per-benchmark result rows, skipping
+(* Cell marker for a value containing a sampled extrapolation: "≈"
+   flags that the number is a statistical estimate with a bounded
+   confidence interval rather than an exact count. *)
+let approx_mark = "\xE2\x89\x88" (* UTF-8 "≈" *)
+let mark_approx is s = if is then approx_mark ^ s else s
+
+(* Mean of column [i] across per-benchmark (value, ci) rows, skipping
    benchmarks where the metric is undefined. *)
 let mean_at per_bench i =
   let values =
     List.filter_map
       (fun row ->
-        let v = row.(i) in
+        let v, _ = row.(i) in
         if Float.is_nan v then None else Some v)
       per_bench
   in
@@ -428,12 +534,17 @@ let mean_at per_bench i =
 (* Render a supervised per-benchmark result set as [n] aggregate
    cells. Only a complete set aggregates: if any member benchmark
    failed, every cell is a hole — silently averaging the survivors
-   would present wrong data with nothing to flag it. *)
+   would present wrong data with nothing to flag it. A cell whose
+   mean contains any extrapolated contribution (a member benchmark
+   reported a nonzero confidence interval) is marked "≈". *)
 let mean_cells ?(fmt = Table.fmt_float ~decimals:2) per_bench n =
   let oks = List.filter_map Result.to_option per_bench in
   if List.length oks <> List.length per_bench then
     List.init n (fun _ -> hole_cell)
-  else List.init n (fun i -> fmt (mean_at oks i))
+  else
+    List.init n (fun i ->
+        let anyci = List.exists (fun row -> snd row.(i) > 0.0) oks in
+        mark_approx anyci (fmt (mean_at oks i)))
 
 let suite_results scale suite =
   List.map (characterize scale) (W.Suites.by_suite suite)
@@ -669,8 +780,8 @@ let fig5_suite_mpki ~jobs scale suite =
           Array.init (hi - lo) (fun i -> A.Bp_sweep.of_name names.(lo + i))
         in
         Array.map
-          (fun r -> A.Bp_sweep.mpki r total)
-          (A.Bp_sweep.run (source scale p) specs))
+          (fun r -> (A.Bp_sweep.mpki r total, A.Bp_sweep.mpki_ci r total))
+          (A.Bp_sweep.run (sampled_source scale p) specs))
   else
     bench_map ~jobs ~where
       (fun (p : W.Profile.t) -> p.name)
@@ -680,8 +791,8 @@ let fig5_suite_mpki ~jobs scale suite =
             (fun n -> A.Bp_sim.create (F.Zoo.by_name n))
             F.Zoo.all_names
         in
-        A.Bp_sim.run_all (source scale p) sims;
-        Array.of_list (List.map (fun s -> A.Bp_sim.mpki s total) sims))
+        A.Bp_sim.run_all (sampled_source scale p) sims;
+        Array.of_list (List.map (fun s -> (A.Bp_sim.mpki s total, 0.0)) sims))
       profiles
 
 let fig5 ~jobs scale =
@@ -741,17 +852,19 @@ let fig6 ~jobs scale =
             let specs =
               Array.of_list (List.map A.Bp_sweep.of_name configs)
             in
-            A.Bp_sweep.run (source scale p) specs
+            A.Bp_sweep.run (sampled_source scale p) specs
             |> Array.to_list
             |> List.concat_map (fun r ->
                    List.map
-                     (fun cause -> f2 (A.Bp_sweep.mpki_by_cause r total cause))
+                     (fun cause ->
+                       mark_approx (A.Bp_sweep.approx r)
+                         (f2 (A.Bp_sweep.mpki_by_cause r total cause)))
                      A.Bp_sim.causes)
           else begin
             let sims =
               List.map (fun n -> A.Bp_sim.create (F.Zoo.by_name n)) configs
             in
-            A.Bp_sim.run_all (source scale p) sims;
+            A.Bp_sim.run_all (sampled_source scale p) sims;
             List.concat_map
               (fun sim ->
                 List.map
@@ -796,8 +909,9 @@ let fig7 ~jobs scale =
         if fused_enabled () then
           sweep_map ~jobs ~where profiles (Array.length configs) (fun p lo hi ->
               Array.map
-                (fun r -> A.Btb_sweep.mpki r total)
-                (A.Btb_sweep.run (source scale p)
+                (fun r ->
+                  (A.Btb_sweep.mpki r total, A.Btb_sweep.mpki_ci r total))
+                (A.Btb_sweep.run (sampled_source scale p)
                    (Array.sub configs lo (hi - lo))))
         else
           bench_map ~jobs ~where
@@ -808,8 +922,9 @@ let fig7 ~jobs scale =
                   (fun (e, a) -> A.Btb_sim.create ~entries:e ~assoc:a)
                   btb_configs
               in
-              A.Btb_sim.run_all (source scale p) sims;
-              Array.of_list (List.map (fun s -> A.Btb_sim.mpki s total) sims))
+              A.Btb_sim.run_all (sampled_source scale p) sims;
+              Array.of_list
+                (List.map (fun s -> (A.Btb_sim.mpki s total, 0.0)) sims))
             profiles
       in
       Table.add_row t
@@ -836,8 +951,10 @@ let icache_table ~jobs ~where:where_root ~title ~configs ~benchmarks scale
     if fused_enabled () then
       sweep_map ~jobs ~where profiles (Array.length carr) (fun p lo hi ->
           Array.map
-            (fun r -> A.Icache_sweep.mpki r total)
-            (A.Icache_sweep.run (source scale p) (Array.sub carr lo (hi - lo))))
+            (fun r ->
+              (A.Icache_sweep.mpki r total, A.Icache_sweep.mpki_ci r total))
+            (A.Icache_sweep.run (sampled_source scale p)
+               (Array.sub carr lo (hi - lo))))
     else
       bench_map ~jobs ~where
         (fun (p : W.Profile.t) -> p.name)
@@ -848,8 +965,9 @@ let icache_table ~jobs ~where:where_root ~title ~configs ~benchmarks scale
                 A.Icache_sim.create ~size_bytes:s ~line_bytes:l ~assoc:a ())
               configs
           in
-          A.Icache_sim.run_all (source scale p) sims;
-          Array.of_list (List.map (fun s -> A.Icache_sim.mpki s total) sims))
+          A.Icache_sim.run_all (sampled_source scale p) sims;
+          Array.of_list
+            (List.map (fun s -> (A.Icache_sim.mpki s total, 0.0)) sims))
         profiles
   in
   if per_suite then
@@ -865,7 +983,13 @@ let icache_table ~jobs ~where:where_root ~title ~configs ~benchmarks scale
     List.iter2
       (fun name row ->
         match row with
-        | Ok arr -> Table.add_row t (name :: Array.to_list (Array.map f2 arr))
+        | Ok arr ->
+            Table.add_row t
+              (name
+              :: Array.to_list
+                   (Array.map
+                      (fun (v, ci) -> mark_approx (ci > 0.0) (f2 v))
+                      arr))
         | Error () ->
             Table.add_row t
               (name :: List.map (fun _ -> hole_cell) configs))
@@ -1142,6 +1266,28 @@ let degraded_table holes =
     holes;
   t
 
+(* Appendix rendered after a sampled run: one row per benchmark whose
+   sweep ran over a representative-region plan at this (scale,
+   fraction), so every "≈" in the tables above is traceable to the
+   plan that produced it. *)
+let sampled_table scale fraction =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Sampled run (fraction %g): region plans" fraction)
+      [ ("benchmark", Table.Left); ("plan", Table.Left) ]
+  in
+  locked (fun () ->
+      Hashtbl.fold
+        (fun (name, sc, fr) pl acc ->
+          if sc = scale && fr = fraction then
+            (name, A.Regions.describe pl) :: acc
+          else acc)
+        plans [])
+  |> List.sort compare
+  |> List.iter (fun (name, d) -> Table.add_row t [ name; d ]);
+  t
+
 let run ?(scale = 1.0) ?jobs id =
   let jobs =
     match jobs with Some j -> j | None -> Engine.default_jobs ()
@@ -1165,6 +1311,13 @@ let run ?(scale = 1.0) ?jobs id =
     | Tab3 -> tab3 ()
     | Fig10 -> fig10 scale
     | Fig11 -> fig11 scale)
+  in
+  let tables =
+    match sample_fraction () with
+    | Some f ->
+        let st = sampled_table scale f in
+        if Table.rows st = [] then tables else tables @ [ st ]
+    | None -> tables
   in
   match holes () with
   | [] -> tables

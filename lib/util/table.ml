@@ -21,8 +21,17 @@ let add_row t cells =
 
 let add_separator t = t.rows <- Separator :: t.rows
 
+(* Cell widths count display characters, not bytes: annotation
+   markers like the sampling "≈" are multi-byte UTF-8 sequences, and
+   byte-based padding would misalign every column after them. ASCII
+   cells are unaffected (the two lengths agree). *)
+let display_length s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
 let pad align width s =
-  let len = String.length s in
+  let len = display_length s in
   if len >= width then s
   else
     let fill = width - len in
@@ -44,8 +53,8 @@ let render t =
           (fun acc row ->
             match row with
             | Separator -> acc
-            | Cells cells -> max acc (String.length (List.nth cells i)))
-          (String.length h) rows)
+            | Cells cells -> max acc (display_length (List.nth cells i)))
+          (display_length h) rows)
       headers
   in
   let buf = Buffer.create 1024 in

@@ -1,0 +1,278 @@
+(* Property tests for representative-region sampling
+   (Repro_analysis.Regions and the Sampled source threaded through
+   the sweep kernels).
+
+   Three contracts:
+
+   1. Bit-identity at fraction 1.0 — an exhaustive plan collapses the
+      Sampled source onto the exact packed path, so every sweep table
+      equals the unsampled run bit for bit across stream and packed
+      sources, and remains invariant under config-axis splitting (the
+      sharding sweep_map performs at -jN).
+
+   2. Escalation exactness at any fraction — configurations the
+      statistical gate refuses to extrapolate (approx = false) are
+      simulated to the end from their prefix state and must reproduce
+      the exact run bit for bit. This pins the cross-pass state
+      carry-over (BTB/predictor tables, cache contents, fetch-line
+      registers, the rewound history register).
+
+   3. Gated accuracy on real workloads — for fractions 0.1..0.5 at
+      scale 0.05, every sampled cell of the three sweep kernels stays
+      within its reported confidence interval and within the bench's
+      max_rel_error tolerance (0.02, with a 1.0 MPKI materiality
+      floor) of the exact run.
+
+   Plus plan determinism: same (fraction, seed, capture) gives
+   byte-identical fingerprints, descriptions and region tables. *)
+
+module I = Repro_isa.Inst
+module S = Repro_isa.Section
+module Trace = Repro_isa.Trace
+module P = Repro_isa.Packed_trace
+module F = Repro_frontend
+module A = Repro_analysis
+module W = Repro_workload
+
+let scopes = A.Branch_mix.[ Total; Only S.Serial; Only S.Parallel ]
+let feq a b = Float.compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Random instruction streams, in the style of test_sweep. *)
+
+let kinds =
+  [| I.Plain; I.Cond_branch; I.Uncond_direct; I.Indirect_branch; I.Call;
+     I.Indirect_call; I.Return; I.Syscall |]
+
+let inst_gen =
+  QCheck.Gen.(
+    let* k = int_bound (Array.length kinds - 1) in
+    let kind = kinds.(k) in
+    let* addr = int_bound 0xFFFFF in
+    let* size = int_range 1 15 in
+    let* taken = if kind = I.Plain then return false else bool in
+    let* target = if taken then int_bound 0xFFFFF else return 0 in
+    let* parallel = bool in
+    let* warmup = frequencyl [ (3, false); (1, true) ] in
+    return
+      (I.make ~kind ~taken ~target
+         ~section:(if parallel then S.Parallel else S.Serial)
+         ~warmup ~addr ~size ()))
+
+(* Streams long enough to produce several regions (the region sizer
+   uses 512..2048-instruction regions). *)
+let stream_gen = QCheck.Gen.(list_size (int_range 0 6000) inst_gen)
+
+let bp_specs () = Array.of_list (List.map A.Bp_sweep.of_name F.Zoo.all_names)
+let btb_configs = [| (16, 1); (16, 2); (64, 2); (64, 8); (256, 4) |]
+
+let icache_configs =
+  [| (1024, 32, 1); (1024, 32, 2); (2048, 32, 4); (1024, 64, 2);
+     (4096, 64, 4); (2048, 128, 2) |]
+
+let bp_eq (a : A.Bp_sweep.t) (b : A.Bp_sweep.t) =
+  List.for_all
+    (fun scope ->
+      A.Bp_sweep.insts a scope = A.Bp_sweep.insts b scope
+      && A.Bp_sweep.conditional_branches a scope
+         = A.Bp_sweep.conditional_branches b scope
+      && A.Bp_sweep.mispredictions a scope = A.Bp_sweep.mispredictions b scope
+      && feq (A.Bp_sweep.mpki a scope) (A.Bp_sweep.mpki b scope)
+      && List.for_all
+           (fun c ->
+             feq
+               (A.Bp_sweep.mpki_by_cause a scope c)
+               (A.Bp_sweep.mpki_by_cause b scope c))
+           A.Bp_sim.causes)
+    scopes
+
+let btb_eq (a : A.Btb_sweep.t) (b : A.Btb_sweep.t) =
+  List.for_all
+    (fun scope ->
+      A.Btb_sweep.insts a scope = A.Btb_sweep.insts b scope
+      && A.Btb_sweep.taken_branches a scope = A.Btb_sweep.taken_branches b scope
+      && A.Btb_sweep.misses a scope = A.Btb_sweep.misses b scope
+      && feq (A.Btb_sweep.mpki a scope) (A.Btb_sweep.mpki b scope))
+    scopes
+
+let ic_eq (a : A.Icache_sweep.t) (b : A.Icache_sweep.t) =
+  List.for_all
+    (fun scope ->
+      A.Icache_sweep.insts a scope = A.Icache_sweep.insts b scope
+      && A.Icache_sweep.misses a scope = A.Icache_sweep.misses b scope
+      && feq (A.Icache_sweep.mpki a scope) (A.Icache_sweep.mpki b scope))
+    scopes
+  && A.Icache_sweep.accesses a = A.Icache_sweep.accesses b
+
+(* ------------------------------------------------------------------ *)
+(* 1. Fraction 1.0: bit-identical to the unsampled run, stream and
+   packed, whole sweep and config-axis sub-ranges. *)
+
+let full_arb =
+  QCheck.make
+    QCheck.Gen.(triple stream_gen bool (int_range 1 4))
+    ~print:(fun (l, packed, cut) ->
+      Printf.sprintf "<%d insts, %s, cut=%d>" (List.length l)
+        (if packed then "packed" else "stream")
+        cut)
+
+let prop_fraction_one =
+  QCheck.Test.make ~name:"fraction 1.0 == unsampled (stream/packed, split)"
+    ~count:30 full_arb (fun (insts, packed, cut) ->
+      let tr = Trace.of_list insts in
+      let pt = P.of_trace tr in
+      let plan = A.Regions.plan ~fraction:1.0 ~seed:42 pt in
+      let samp = A.Tool.Source.of_sampled pt plan in
+      let exact =
+        if packed then A.Tool.Source.of_packed pt
+        else A.Tool.Source.of_trace tr
+      in
+      A.Regions.exhaustive plan
+      && Array.for_all2 bp_eq
+           (A.Bp_sweep.run samp (bp_specs ()))
+           (A.Bp_sweep.run exact (bp_specs ()))
+      && Array.for_all2 btb_eq
+           (A.Btb_sweep.run samp btb_configs)
+           (A.Btb_sweep.run exact btb_configs)
+      && Array.for_all2 ic_eq
+           (A.Icache_sweep.run samp icache_configs)
+           (A.Icache_sweep.run exact icache_configs)
+      &&
+      (* Sub-range sweeps over the sampled source must equal slices of
+         the whole sampled sweep: what -jN config sharding assumes. *)
+      let n = Array.length icache_configs in
+      let cut = min cut (n - 1) in
+      let part lo len =
+        A.Icache_sweep.run samp (Array.sub icache_configs lo len)
+      in
+      Array.for_all2 ic_eq
+        (A.Icache_sweep.run samp icache_configs)
+        (Array.append (part 0 cut) (part cut (n - cut))))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Any fraction: escalated (non-approx) configurations are
+   bit-identical to the exact run; approx cells carry a CI. *)
+
+let frac_arb =
+  QCheck.make
+    QCheck.Gen.(pair stream_gen (int_range 10 50))
+    ~print:(fun (l, pct) ->
+      Printf.sprintf "<%d insts, fraction 0.%02d>" (List.length l) pct)
+
+let prop_escalation_exact =
+  QCheck.Test.make ~name:"escalated configs == exact run (any fraction)"
+    ~count:30 frac_arb (fun (insts, pct) ->
+      let pt = P.of_trace (Trace.of_list insts) in
+      let plan =
+        A.Regions.plan ~fraction:(float_of_int pct /. 100.0) ~seed:7 pt
+      in
+      let samp = A.Tool.Source.of_sampled pt plan in
+      let exact = A.Tool.Source.of_packed pt in
+      let sb = A.Btb_sweep.run samp btb_configs
+      and eb = A.Btb_sweep.run exact btb_configs in
+      let si = A.Icache_sweep.run samp icache_configs
+      and ei = A.Icache_sweep.run exact icache_configs in
+      let sp = A.Bp_sweep.run samp (bp_specs ())
+      and ep = A.Bp_sweep.run exact (bp_specs ()) in
+      Array.for_all2
+        (fun s e -> A.Btb_sweep.approx s || btb_eq s e)
+        sb eb
+      && Array.for_all2
+           (fun s e -> A.Icache_sweep.approx s || ic_eq s e)
+           si ei
+      && Array.for_all2
+           (fun s e -> A.Bp_sweep.approx s || bp_eq s e)
+           sp ep)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Accuracy gate on real workloads: scale 0.05, fractions
+   0.1..0.5. Approx cells stay inside their confidence interval;
+   every cell stays within the bench's max_rel_error tolerance. *)
+
+let scale = 0.05
+let tol = A.Regions.default_tol
+let profiles = Array.of_list W.Suites.all
+
+let accuracy_arb =
+  QCheck.make
+    QCheck.Gen.(pair (int_bound (Array.length profiles - 1)) (int_range 10 50))
+    ~print:(fun (pi, pct) ->
+      Printf.sprintf "<%s, fraction 0.%02d>" profiles.(pi).W.Profile.name pct)
+
+let cell_ok ~exact ~sampled ~ci ~approx =
+  let rel = Float.abs (sampled -. exact) /. Float.max (Float.abs exact) 1.0 in
+  rel <= tol +. 1e-9
+  && ((not approx) || Float.abs (sampled -. exact) <= ci +. 1e-9)
+
+let prop_accuracy =
+  QCheck.Test.make ~name:"sampled cells within CI and 2% (scale 0.05)"
+    ~count:8 accuracy_arb (fun (pi, pct) ->
+      let p = profiles.(pi) in
+      let insts =
+        max 50_000 (int_of_float (float_of_int p.W.Profile.total_insts *. scale))
+      in
+      let pt = W.Executor.packed (W.Executor.create ~insts p) in
+      let seed =
+        let d = Digest.to_hex (Digest.string (W.Profile_io.to_string p)) in
+        int_of_string ("0x" ^ String.sub d 0 8)
+      in
+      let plan = A.Regions.plan ~fraction:(float_of_int pct /. 100.0) ~seed pt in
+      let exact = A.Tool.Source.of_packed pt in
+      let samp = A.Tool.Source.of_sampled pt plan in
+      let total = A.Branch_mix.Total in
+      let sb = A.Btb_sweep.run samp [| (256, 2); (512, 4); (1024, 8) |]
+      and eb = A.Btb_sweep.run exact [| (256, 2); (512, 4); (1024, 8) |] in
+      let ics = [| (8192, 64, 2); (16384, 64, 4); (32768, 64, 8) |] in
+      let si = A.Icache_sweep.run samp ics
+      and ei = A.Icache_sweep.run exact ics in
+      let sp = A.Bp_sweep.run samp (bp_specs ())
+      and ep = A.Bp_sweep.run exact (bp_specs ()) in
+      Array.for_all2
+        (fun s e ->
+          cell_ok
+            ~exact:(A.Btb_sweep.mpki e total)
+            ~sampled:(A.Btb_sweep.mpki s total)
+            ~ci:(A.Btb_sweep.mpki_ci s total)
+            ~approx:(A.Btb_sweep.approx s))
+        sb eb
+      && Array.for_all2
+           (fun s e ->
+             cell_ok
+               ~exact:(A.Icache_sweep.mpki e total)
+               ~sampled:(A.Icache_sweep.mpki s total)
+               ~ci:(A.Icache_sweep.mpki_ci s total)
+               ~approx:(A.Icache_sweep.approx s))
+           si ei
+      && Array.for_all2
+           (fun s e ->
+             cell_ok
+               ~exact:(A.Bp_sweep.mpki e total)
+               ~sampled:(A.Bp_sweep.mpki s total)
+               ~ci:(A.Bp_sweep.mpki_ci s total)
+               ~approx:(A.Bp_sweep.approx s))
+           sp ep)
+
+(* ------------------------------------------------------------------ *)
+(* 4. Plan determinism: same (fraction, seed, capture) gives the same
+   plan, byte for byte, however many times it is computed. *)
+
+let prop_plan_deterministic =
+  QCheck.Test.make ~name:"plan deterministic in (fraction, seed, capture)"
+    ~count:30 frac_arb (fun (insts, pct) ->
+      let fraction = float_of_int pct /. 100.0 in
+      let pt = P.of_trace (Trace.of_list insts) in
+      let pt' = P.of_trace (Trace.of_list insts) in
+      let a = A.Regions.plan ~fraction ~seed:123 pt in
+      let b = A.Regions.plan ~fraction ~seed:123 pt' in
+      String.equal (A.Regions.fingerprint a) (A.Regions.fingerprint b)
+      && String.equal (A.Regions.describe a) (A.Regions.describe b)
+      && a.A.Regions.regions = b.A.Regions.regions
+      && a.A.Regions.prefix_regions = b.A.Regions.prefix_regions
+      && a.A.Regions.prefix_end = b.A.Regions.prefix_end)
+
+let () =
+  Alcotest.run "regions"
+    [ ("identity", Qseed.all [ prop_fraction_one; prop_escalation_exact ]);
+      ("accuracy", Qseed.all [ prop_accuracy ]);
+      ("determinism", Qseed.all [ prop_plan_deterministic ])
+    ]
