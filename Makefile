@@ -3,7 +3,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test smoke bench bench-json ci ci-sampled ci-faults clean cache-clear
+.PHONY: all build test smoke bench bench-json ci ci-sampled ci-faults ci-serve clean cache-clear
 
 all: build
 
@@ -43,7 +43,7 @@ bench-json: build
 # carry the stream-vs-replay probe (stream_ms / replay_ms /
 # sweep_speedup), the fused-kernel probe (unfused_ms / fused_ms /
 # fused_speedup) and the sampling probe (sampled_ms / sampled_speedup
-# / max_rel_error) — and validate the emitted schema (v5); the check
+# / max_rel_error) — and validate the emitted schema (v6); the check
 # fails if any sweep's fused_speedup or sampled_speedup drops below
 # 1.0, or any max_rel_error exceeds 0.02.
 ci: build
@@ -56,11 +56,12 @@ ci: build
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
 	$(MAKE) ci-sampled
 	$(MAKE) ci-faults
+	$(MAKE) ci-serve
 
 # Sampling gate: the trace-sweep figures under representative-region
 # sampling at fraction 0.25, over a fresh cache so the sampling spec
 # lands in every cache key and journal fingerprint from scratch. The
-# schema-v5 entries carry the sampled probe (sampled_ms /
+# schema-v6 entries carry the sampled probe (sampled_ms /
 # sampled_speedup / max_rel_error); the check fails if any sweep's
 # sampled run is slower than the streaming run (sampled_speedup <
 # 1.0) or strays beyond the 2% accuracy gate (max_rel_error > 0.02).
@@ -75,7 +76,7 @@ ci-sampled: build
 
 # Fault-torture gate: the tier-1 suite plus a bench sweep with every
 # fault site firing at 5% (seed 42). Supervision must absorb the
-# injected failures — the run completes, emits schema-v4 JSON that
+# injected failures — the run completes, emits schema-v6 JSON that
 # validates, and the injected-fault counter in the engine footer
 # proves the sites actually fired. The fresh cache directory also
 # exercises quarantine and torn-write recovery end to end.
@@ -89,9 +90,27 @@ ci-faults: build
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_faults.json
 	rm -rf _faults_cache BENCH_faults.json
 
+# Daemon gate: drive an in-process characterization server with a
+# short closed-loop load test over a fresh cache — 4 concurrent
+# clients, a zero-downtime reload at the halfway mark — and validate
+# the emitted schema-v6 serve block (p50/p90/p99 latency, throughput,
+# update_lag_ms). --expect-serve makes a missing serve run an error,
+# and the check fails unless every concurrent response was
+# byte-identical to the one-shot renderings.
+ci-serve: build
+	rm -rf _serve_cache BENCH_serve.json
+	REPRO_SCALE=0.05 REPRO_CACHE_DIR=_serve_cache \
+	  $(DUNE) exec bench/main.exe -- \
+	    --serve-bench --serve-clients 4 --serve-requests 40 -j 1 \
+	    --json BENCH_serve.json
+	test -s BENCH_serve.json
+	$(DUNE) exec bench/main.exe -- --check-json BENCH_serve.json --expect-serve
+	rm -rf _serve_cache BENCH_serve.json
+
 clean:
 	$(DUNE) clean
-	rm -rf _cache _smoke_cache _faults_cache BENCH_faults.json
+	rm -rf _cache _smoke_cache _faults_cache _serve_cache _sampled_cache \
+	  BENCH_faults.json BENCH_serve.json BENCH_sampled.json
 
 cache-clear:
 	$(DUNE) exec bin/repro_cli.exe -- cache clear

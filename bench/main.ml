@@ -48,6 +48,22 @@
      dune exec bench/main.exe -- --no-journal do not journal completed
                                               experiments (a fresh run
                                               every time)
+     dune exec bench/main.exe -- --serve-bench
+                                              load-generate against an
+                                              in-process Repro_core.Server
+                                              daemon: concurrent clients,
+                                              p50/p90/p99 latency,
+                                              throughput, mid-run reload
+                                              update lag, and a byte-
+                                              identity gate against the
+                                              one-shot renderings; tune
+                                              with --serve-clients N,
+                                              --serve-requests N,
+                                              --serve-mode closed|open,
+                                              --serve-rps R
+     dune exec bench/main.exe -- --check-json F --expect-serve
+                                              additionally require the
+                                              file to record a serve run
      REPRO_SCALE=0.2 dune exec bench/main.exe faster, noisier runs
      REPRO_TRACE=1   dune exec bench/main.exe print the telemetry span
                                               tree to stderr on exit
@@ -63,10 +79,11 @@ module F = Repro_frontend
 module T = Repro_util.Telemetry
 module J = Repro_util.Json
 
-let scale =
-  match Sys.getenv_opt "REPRO_SCALE" with
-  | Some s -> (try float_of_string s with Failure _ -> 1.0)
-  | None -> 1.0
+(* Malformed, non-finite and non-positive REPRO_SCALE values warn
+   once and fall back to 1.0 (the old code silently accepted nan/0/
+   negative scales, which poison every measurement derived from the
+   instruction budget). *)
+let scale = Repro_util.Env.float_positive ~name:"REPRO_SCALE" ~default:1.0 ()
 
 (* ------------------------------------------------------------------ *)
 (* Experiment regeneration: one section per paper table/figure. *)
@@ -412,10 +429,14 @@ let measurement_json ~jobs m =
         | _ -> J.Null );
       ("max_rel_error", opt m.m_max_rel_error) ]
 
-let emit_json ~jobs path rows =
+(* [serve] is the pre-rendered JSON of a --serve-bench run ([J.Null]
+   when the load generator did not run); schema v6 always carries the
+   field so the validator can tell "did not run" from "emitter
+   regressed". *)
+let emit_json ~jobs ?(serve = J.Null) path rows =
   let doc =
     J.Obj
-      [ ("schema_version", J.Num 5.0);
+      [ ("schema_version", J.Num 6.0);
         ("scale", J.Num scale);
         ("jobs", J.Num (float_of_int jobs));
         ("packed", J.Bool (Repro_core.Experiment.packed_enabled ()));
@@ -424,6 +445,7 @@ let emit_json ~jobs path rows =
           match Repro_util.Faults.spec () with
           | Some s -> J.Str s
           | None -> J.Null );
+        ("serve", serve);
         ("experiments", J.Arr (List.map (measurement_json ~jobs) rows)) ]
   in
   Out_channel.with_open_bin path (fun oc ->
@@ -433,7 +455,7 @@ let emit_json ~jobs path rows =
 
 (* Validator behind `--check-json`: the Makefile's bench-json target
    (and therefore `make smoke`) fails when the emitter regresses. *)
-let check_json path =
+let check_json ?(expect_serve = false) path =
   let fail fmt =
     Printf.ksprintf
       (fun msg ->
@@ -456,10 +478,54 @@ let check_json path =
         | None -> fail "field %S missing" name
       in
       (match J.member "schema_version" doc with
-      | Some (J.Num v) when v = 5.0 -> ()
-      | Some (J.Num v) -> fail "schema_version %g (want 5)" v
+      | Some (J.Num v) when v = 6.0 -> ()
+      | Some (J.Num v) -> fail "schema_version %g (want 6)" v
       | Some _ -> fail "schema_version is not a number"
       | None -> fail "top-level \"schema_version\" missing");
+      (* The serve block: always present in v6; null when the load
+         generator did not run. When a serve run is recorded, its
+         latency/throughput/lag fields must be numbers and the
+         byte-identity gate must have held — a daemon that serves
+         even one response different from the one-shot rendering
+         fails the file. *)
+      (match J.member "serve" doc with
+      | None -> fail "top-level \"serve\" field missing"
+      | Some J.Null ->
+          if expect_serve then
+            fail "\"serve\" is null but --expect-serve was given \
+                  (the load generator did not run)"
+      | Some (J.Obj _ as s) ->
+          let snum name =
+            match J.member name s with
+            | Some (J.Num v) -> v
+            | Some _ -> fail "serve.%s is not a number" name
+            | None -> fail "serve.%s missing" name
+          in
+          List.iter
+            (fun f -> ignore (snum f))
+            [ "clients"; "requests"; "wall_ms"; "throughput_rps";
+              "update_lag_ms"; "errors" ];
+          (match J.member "mode" s with
+          | Some (J.Str ("closed" | "open")) -> ()
+          | Some (J.Str m) -> fail "serve.mode %S (want closed|open)" m
+          | _ -> fail "serve.mode missing or not a string");
+          List.iter
+            (fun f ->
+              let v = snum f in
+              if Float.is_nan v || v < 0.0 then
+                fail "serve.%s is %g (want a non-negative number)" f v)
+            [ "p50_ms"; "p90_ms"; "p99_ms"; "update_lag_ms" ];
+          if snum "p50_ms" > snum "p99_ms" then
+            fail "serve.p50_ms %g > p99_ms %g" (snum "p50_ms") (snum "p99_ms");
+          if snum "errors" > 0.0 then
+            fail "serve.errors %g > 0" (snum "errors");
+          (match J.member "responses_identical" s with
+          | Some (J.Bool true) -> ()
+          | Some (J.Bool false) ->
+              fail "serve.responses_identical is false: a concurrent \
+                    response diverged from the one-shot rendering"
+          | _ -> fail "serve.responses_identical missing or not a boolean")
+      | Some _ -> fail "\"serve\" is neither an object nor null");
       match J.member "experiments" doc with
       | Some (J.Arr rows) ->
           List.iter
@@ -520,6 +586,225 @@ let check_json path =
             (if List.length rows = 1 then "" else "s")
       | Some _ -> fail "\"experiments\" is not an array"
       | None -> fail "top-level \"experiments\" array missing")
+
+(* ------------------------------------------------------------------ *)
+(* Load generator for the characterization daemon (--serve-bench):
+   spawn an in-process Repro_core.Server on a private Unix socket,
+   drive it with concurrent clients in closed- or open-loop mode,
+   reload the configuration mid-run, and record request-latency
+   percentiles, throughput and the measured update lag. Every
+   response is compared byte-for-byte against the one-shot rendering
+   (Report.run_to_string — exactly what the CLI prints), so the
+   emitted responses_identical field is a correctness gate, not a
+   vibe. *)
+
+type serve_cfg = {
+  sb_clients : int;
+  sb_mode : [ `Closed | `Open ];
+  sb_requests : int; (* total across clients *)
+  sb_rps : float; (* open-loop aggregate arrival rate *)
+}
+
+let default_serve_cfg =
+  { sb_clients = 4; sb_mode = `Closed; sb_requests = 40; sb_rps = 50.0 }
+
+type serve_result = {
+  sr_clients : int;
+  sr_mode : string;
+  sr_requests : int; (* responses received ok *)
+  sr_wall_ms : float;
+  sr_throughput : float; (* ok responses per second *)
+  sr_p50 : float;
+  sr_p90 : float;
+  sr_p99 : float;
+  sr_update_lag_ms : float;
+  sr_errors : int;
+  sr_identical : bool;
+}
+
+let serve_bench cfg ~jobs =
+  let module S = Repro_core.Server in
+  let sock = Printf.sprintf "_serve_bench_%d.sock" (Unix.getpid ()) in
+  let ids = [| "fig1"; "tab1"; "fig2"; "fig3"; "fig4"; "tab2" |] in
+  (* One-shot reference renderings, computed through the same code
+     path the CLI's `experiment` subcommand prints. Doing this first
+     also warms the in-process memo the daemon shares, so the load
+     phase measures dispatch and protocol, not first-trace cost. *)
+  let reference =
+    Array.map
+      (fun s ->
+        let id = Option.get (Repro_core.Experiment.of_string s) in
+        Repro_core.Report.run_to_string ~scale ~jobs id)
+      ids
+  in
+  let per_client = max 1 (cfg.sb_requests / cfg.sb_clients) in
+  let total = per_client * cfg.sb_clients in
+  let workers = min 16 (cfg.sb_clients + 1) in
+  let server =
+    S.start
+      ~config:{ (S.current_config ()) with S.scale; jobs }
+      ~socket:sock ~workers ()
+  in
+  Printf.printf
+    "==== serve bench: %d %s-loop clients, %d requests over %s ====\n%!"
+    cfg.sb_clients
+    (match cfg.sb_mode with `Closed -> "closed" | `Open -> "open")
+    total sock;
+  let responses = Atomic.make 0 in (* every outcome, ok or not *)
+  let ok = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let mismatches = Atomic.make 0 in
+  let t_start = T.now_ns () in
+  let wall_start = Unix.gettimeofday () in
+  let client ci =
+    let conn = S.Client.connect ~socket:sock () in
+    let lats = Array.make per_client nan in
+    Fun.protect
+      ~finally:(fun () -> S.Client.close conn)
+      (fun () ->
+        for k = 0 to per_client - 1 do
+          let idx = (ci * per_client) + k in
+          let which = idx mod Array.length ids in
+          (* Open loop: arrivals on a fixed schedule, latency from the
+             scheduled arrival (queueing included). Closed loop:
+             back-to-back, latency is the request round trip. *)
+          let target =
+            match cfg.sb_mode with
+            | `Closed -> None
+            | `Open ->
+                let t =
+                  wall_start
+                  +. ((float_of_int ci +. (float_of_int k *. float_of_int cfg.sb_clients))
+                      /. cfg.sb_rps)
+                in
+                let now = Unix.gettimeofday () in
+                if now < t then Unix.sleepf (t -. now);
+                Some t
+          in
+          let t0 = T.now_ns () in
+          match
+            S.Client.request conn
+              (J.Obj
+                 [ ("op", J.Str "experiment");
+                   ("id", J.Str ids.(which));
+                   ("seq", J.Num (float_of_int idx)) ])
+          with
+          | Ok resp ->
+              ignore (Atomic.fetch_and_add responses 1);
+              let rtt_ms = ms_since t0 in
+              lats.(k) <-
+                (match target with
+                | None -> rtt_ms
+                | Some t -> (Unix.gettimeofday () -. t) *. 1000.0);
+              (match (J.member "ok" resp, J.member "text" resp) with
+              | Some (J.Bool true), Some (J.Str text) ->
+                  Atomic.incr ok;
+                  if not (String.equal text reference.(which)) then
+                    Atomic.incr mismatches
+              | _ -> Atomic.incr errors)
+          | Error _ ->
+              ignore (Atomic.fetch_and_add responses 1);
+              Atomic.incr errors
+        done;
+        lats)
+  in
+  (* Mid-run zero-downtime reload: issued once half the responses are
+     in, so the remaining half runs under the bumped generation and
+     stamps a load-measured update lag. The reloaded configuration is
+     identical — the point is the swap, not the change. *)
+  let reloader =
+    Domain.spawn (fun () ->
+        let conn = S.Client.connect ~socket:sock () in
+        Fun.protect
+          ~finally:(fun () -> S.Client.close conn)
+          (fun () ->
+            while
+              Atomic.get responses < total / 2
+              && Atomic.get responses < total
+            do
+              Unix.sleepf 0.002
+            done;
+            match S.Client.request conn (J.Obj [ ("op", J.Str "reload") ]) with
+            | Ok _ -> ()
+            | Error _ -> Atomic.incr errors))
+  in
+  let domains =
+    List.init cfg.sb_clients (fun ci -> Domain.spawn (fun () -> client ci))
+  in
+  let lat_arrays = List.map Domain.join domains in
+  Domain.join reloader;
+  let wall_ms = ms_since t_start in
+  (* Make sure some gated request completed after the reload, then
+     read the measured lag back through the stats op. *)
+  let update_lag, errors_after =
+    let conn = S.Client.connect ~socket:sock () in
+    Fun.protect
+      ~finally:(fun () -> S.Client.close conn)
+      (fun () ->
+        ignore (S.Client.request conn (J.Obj [ ("op", J.Str "ping") ]));
+        match S.Client.request conn (J.Obj [ ("op", J.Str "stats") ]) with
+        | Ok st -> (
+            match J.member "update_lag_ms" st with
+            | Some (J.Num v) -> (v, 0)
+            | _ -> (nan, 1))
+        | Error _ -> (nan, 1))
+  in
+  S.stop server;
+  let lats =
+    Array.of_list
+      (List.concat_map
+         (fun a ->
+           Array.to_list a |> List.filter (fun v -> not (Float.is_nan v)))
+         lat_arrays)
+  in
+  let p50, p90, p99 =
+    if Array.length lats = 0 then (nan, nan, nan)
+    else
+      match Repro_util.Stats.percentiles lats [ 50.0; 90.0; 99.0 ] with
+      | [ a; b; c ] -> (a, b, c)
+      | _ -> (nan, nan, nan)
+  in
+  let n_ok = Atomic.get ok in
+  let n_errors = Atomic.get errors + errors_after in
+  let n_mism = Atomic.get mismatches in
+  let identical = n_mism = 0 && n_errors = 0 && n_ok = total in
+  let result =
+    { sr_clients = cfg.sb_clients;
+      sr_mode = (match cfg.sb_mode with `Closed -> "closed" | `Open -> "open");
+      sr_requests = n_ok;
+      sr_wall_ms = wall_ms;
+      sr_throughput =
+        (if wall_ms > 0.0 then float_of_int n_ok /. (wall_ms /. 1000.0)
+         else 0.0);
+      sr_p50 = p50;
+      sr_p90 = p90;
+      sr_p99 = p99;
+      sr_update_lag_ms = update_lag;
+      sr_errors = n_errors;
+      sr_identical = identical }
+  in
+  Printf.printf
+    "  %d/%d ok, %d errors, %d mismatches\n\
+    \  latency p50 %.2fms  p90 %.2fms  p99 %.2fms\n\
+    \  throughput %.1f req/s, update lag %.2fms, wall %.1fms\n\
+    \  responses identical to one-shot renderings: %b\n\n%!"
+    n_ok total n_errors n_mism p50 p90 p99 result.sr_throughput update_lag
+    wall_ms identical;
+  result
+
+let serve_json s =
+  J.Obj
+    [ ("clients", J.Num (float_of_int s.sr_clients));
+      ("mode", J.Str s.sr_mode);
+      ("requests", J.Num (float_of_int s.sr_requests));
+      ("wall_ms", J.Num s.sr_wall_ms);
+      ("throughput_rps", J.Num s.sr_throughput);
+      ("p50_ms", J.Num s.sr_p50);
+      ("p90_ms", J.Num s.sr_p90);
+      ("p99_ms", J.Num s.sr_p99);
+      ("update_lag_ms", J.Num s.sr_update_lag_ms);
+      ("errors", J.Num (float_of_int s.sr_errors));
+      ("responses_identical", J.Bool s.sr_identical) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator substrate: one group per
@@ -661,6 +946,11 @@ let parse_flags args =
   let json = ref None in
   let check = ref None in
   let journal = ref true in
+  let serve = ref None in
+  let expect_serve = ref false in
+  let serve_cfg () =
+    match !serve with Some c -> c | None -> default_serve_cfg
+  in
   let int_flag name ~min ~max_ ~apply n =
     match int_of_string_opt n with
     | Some v when v >= min && v <= max_ -> apply v
@@ -675,7 +965,58 @@ let parse_flags args =
           name n min max_
   in
   let rec go jobs acc = function
-    | [] -> (jobs, !json, !check, !journal, List.rev acc)
+    | [] ->
+        (jobs, !json, !check, !journal, !serve, !expect_serve, List.rev acc)
+    | "--serve-bench" :: rest ->
+        serve := Some (serve_cfg ());
+        go jobs acc rest
+    | "--serve-clients" :: n :: rest ->
+        int_flag "--serve-clients" ~min:1 ~max_:16
+          ~apply:(fun v -> serve := Some { (serve_cfg ()) with sb_clients = v })
+          n;
+        go jobs acc rest
+    | [ "--serve-clients" ] ->
+        Printf.eprintf "missing count after --serve-clients\n";
+        exit 2
+    | "--serve-requests" :: n :: rest ->
+        int_flag "--serve-requests" ~min:1 ~max_:100_000
+          ~apply:(fun v ->
+            serve := Some { (serve_cfg ()) with sb_requests = v })
+          n;
+        go jobs acc rest
+    | [ "--serve-requests" ] ->
+        Printf.eprintf "missing count after --serve-requests\n";
+        exit 2
+    | "--serve-mode" :: m :: rest -> (
+        match m with
+        | "closed" ->
+            serve := Some { (serve_cfg ()) with sb_mode = `Closed };
+            go jobs acc rest
+        | "open" ->
+            serve := Some { (serve_cfg ()) with sb_mode = `Open };
+            go jobs acc rest
+        | _ ->
+            Printf.eprintf "bad --serve-mode %S (want closed or open)\n" m;
+            exit 2)
+    | [ "--serve-mode" ] ->
+        Printf.eprintf "missing mode after --serve-mode\n";
+        exit 2
+    | "--serve-rps" :: r :: rest ->
+        (match float_of_string_opt r with
+        | Some v when Float.is_finite v && v > 0.0 ->
+            serve := Some { (serve_cfg ()) with sb_rps = v }
+        | Some _ | None ->
+            Printf.eprintf
+              "bench: ignoring invalid --serve-rps %S (want a positive \
+               rate); keeping the default\n%!"
+              r);
+        go jobs acc rest
+    | [ "--serve-rps" ] ->
+        Printf.eprintf "missing rate after --serve-rps\n";
+        exit 2
+    | "--expect-serve" :: rest ->
+        expect_serve := true;
+        go jobs acc rest
     | ("-j" | "--jobs") :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j > 0 -> go j acc rest
@@ -764,7 +1105,7 @@ let parse_flags args =
 
 let journal_fingerprint ~measure ids =
   String.concat "|"
-    ([ "schema5"; Repro_core.Cache.version; Printf.sprintf "%h" scale;
+    ([ "schema6"; Repro_core.Cache.version; Printf.sprintf "%h" scale;
        string_of_bool measure;
        (match Repro_core.Experiment.sample_fraction () with
        | Some f -> Printf.sprintf "%h" f
@@ -779,17 +1120,29 @@ let journal_parse payload : string * measurement option =
   Marshal.from_string payload 0
 
 let () =
-  let jobs, json_out, check, use_journal, args =
+  let jobs, json_out, check, use_journal, serve_req, expect_serve, args =
     parse_flags (List.tl (Array.to_list Sys.argv))
   in
   (match check with
   | Some path ->
-      check_json path;
+      check_json ~expect_serve path;
       exit 0
   | None -> ());
   (* The JSON emitter needs the sim-insts counter, so recording is
      switched on; the span tree is only printed under REPRO_TRACE. *)
   if json_out <> None then T.set_enabled true;
+  (match serve_req with
+  | Some cfg ->
+      (* Load-generator mode: drive the daemon instead of
+         regenerating experiments; the emitted file still carries the
+         full v6 schema (with an empty experiment list). *)
+      let result = serve_bench cfg ~jobs in
+      (match json_out with
+      | Some path -> emit_json ~jobs ~serve:(serve_json result) path []
+      | None -> ());
+      if T.env_trace then prerr_string (T.report ());
+      exit (if result.sr_identical then 0 else 1)
+  | None -> ());
   let extras = [ "micro"; "ablation"; "scaling"; "extension" ] in
   let wants x = args = [] || List.mem x args in
   let wants_micro = wants "micro" in

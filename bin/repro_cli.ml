@@ -7,6 +7,7 @@
      report                   regenerate everything
      recommend [--suite S]    run the rebalancing engine
      experiments-md           emit EXPERIMENTS.md content
+     serve                    characterization-as-a-service daemon
      cache clear|info         manage the persistent _cache/ directory *)
 
 open Cmdliner
@@ -236,6 +237,75 @@ let experiments_md_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket path to listen on (default \
+                   $(b,_serve.sock) when --tcp is not given; a stale \
+                   socket file is replaced)")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Also listen on this loopback TCP port ($(b,0) lets \
+                   the kernel pick; the chosen port is printed)")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Accept/serve worker domains (clamped to 1..16); \
+                   bounds concurrently served clients")
+  in
+  let run scale () socket tcp workers =
+    let module Server = Repro_core.Server in
+    let cfg = { (Server.current_config ()) with Server.scale } in
+    let t = Server.start ~config:cfg ?socket ?tcp ~workers () in
+    (* Signal handlers only set flags; the reload itself runs on the
+       main domain inside [wait]'s tick, where taking locks is safe. *)
+    let hup = Atomic.make false in
+    let on_signal_stop = Sys.Signal_handle (fun _ -> Server.request_stop t) in
+    List.iter
+      (fun (signal, behaviour) ->
+        try Sys.set_signal signal behaviour with Invalid_argument _ -> ())
+      [ (Sys.sighup, Sys.Signal_handle (fun _ -> Atomic.set hup true));
+        (Sys.sigint, on_signal_stop);
+        (Sys.sigterm, on_signal_stop) ];
+    let endpoints =
+      (match Server.sock_path t with Some p -> [ "unix:" ^ p ] | None -> [])
+      @ (match Server.tcp_port t with
+        | Some p -> [ Printf.sprintf "tcp:127.0.0.1:%d" p ]
+        | None -> [])
+    in
+    Printf.printf
+      "frontend-repro serve: listening on %s (%d workers, scale %g)\n\
+       SIGHUP reloads the REPRO_* environment; SIGTERM/SIGINT or a \
+       shutdown op stops\n%!"
+      (String.concat " and " endpoints)
+      workers scale;
+    Server.wait
+      ~on_tick:(fun () ->
+        if Atomic.exchange hup false then begin
+          let gen = Server.reload t (Server.env_config ()) in
+          Printf.eprintf "serve: reloaded from environment, generation %d\n%!"
+            gen
+        end)
+      t;
+    Server.stop t;
+    Printf.printf "serve: stopped\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the characterization daemon: a long-lived socket server \
+          answering concurrent experiment/report/stats requests over a \
+          length-framed JSON protocol, with zero-downtime configuration \
+          reload")
+    Term.(const run $ scale_arg $ engine_flags $ socket_arg $ tcp_arg
+          $ workers_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let cache_cmd =
   let clear =
     let run () =
@@ -402,4 +472,4 @@ let () =
        (Cmd.group info
           [ list_cmd; characterize_cmd; experiment_cmd; report_cmd;
             experiments_md_cmd; recommend_cmd; ablation_cmd; scaling_cmd;
-            export_cmd; cache_cmd ]))
+            export_cmd; serve_cmd; cache_cmd ]))

@@ -23,11 +23,7 @@ let bad_suffix = ".bad"
    settles it. *)
 let trailer_magic = "\nREPROEND"
 
-let enabled_ref =
-  ref
-    (match Sys.getenv_opt "REPRO_CACHE" with
-    | Some ("0" | "no" | "off" | "false") -> false
-    | Some _ | None -> true)
+let enabled_ref = ref (Repro_util.Env.flag ~name:"REPRO_CACHE" ~default:true)
 
 let enabled () = !enabled_ref
 let set_enabled b = enabled_ref := b

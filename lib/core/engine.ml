@@ -51,27 +51,11 @@ let rec record_max cell v =
    mli and README. *)
 let clamp_jobs j = max 1 (min 64 j)
 
-let warned_env_jobs = ref false
-
+(* Malformed values warn once (via the shared Env registry) so a
+   typo'd REPRO_JOBS=O8 is not an invisible serial run; out-of-range
+   values warn once and clamp into the documented 1..64. *)
 let env_jobs () =
-  match Sys.getenv_opt "REPRO_JOBS" with
-  | Some s -> (
-      match int_of_string_opt s with
-      | Some j when j > 0 -> Some (clamp_jobs j)
-      | Some _ | None ->
-          (* Malformed or non-positive values used to be silently
-             ignored; warn once so a typo'd REPRO_JOBS=O8 is not an
-             invisible serial run. *)
-          if not !warned_env_jobs then begin
-            warned_env_jobs := true;
-            Printf.eprintf
-              "frontend-repro: ignoring invalid REPRO_JOBS=%S (want a \
-               positive integer; values above 64 are clamped); using the \
-               default domain count\n%!"
-              s
-          end;
-          None)
-  | None -> None
+  Repro_util.Env.int_clamped ~name:"REPRO_JOBS" ~min:1 ~max:64 ()
 
 let default = ref None
 

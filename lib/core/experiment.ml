@@ -132,28 +132,12 @@ let evaluate_cmps scale (p : W.Profile.t) =
    additionally persists captures through {!Cache}. *)
 
 (* Environment toggles are re-read on use (tests flip them with
-   [putenv]) but validated with a warning only once per variable,
-   mirroring Engine's REPRO_JOBS handling: a malformed value warns on
-   stderr with the accepted forms and falls back to the default
-   instead of being silently ignored. *)
-let env_flag_warned : (string, unit) Hashtbl.t = Hashtbl.create 4
-
-let env_flag name ~default =
-  match Sys.getenv_opt name with
-  | None -> default
-  | Some ("0" | "false" | "no") -> false
-  | Some ("1" | "true" | "yes") -> true
-  | Some s ->
-      locked (fun () ->
-          if not (Hashtbl.mem env_flag_warned name) then begin
-            Hashtbl.add env_flag_warned name ();
-            Printf.eprintf
-              "frontend-repro: ignoring invalid %s=%S (want 0/false/no or \
-               1/true/yes); using the default (%s)\n%!"
-              name s
-              (if default then "enabled" else "disabled")
-          end);
-      default
+   [putenv], and the Server daemon's reload path re-reads them) but
+   validated with a warning only once per variable, through the
+   shared {!Repro_util.Env} helper: a malformed value warns on stderr
+   with the accepted forms and falls back to the default instead of
+   being silently ignored. *)
+let env_flag name ~default = Repro_util.Env.flag ~name ~default
 
 let packed_override = ref None
 let set_packed b = packed_override := Some b
@@ -187,29 +171,36 @@ let fused_enabled () =
    marker. A fraction at or above 0.995 (or at most four regions)
    degenerates to the exact code path bit for bit. *)
 
-let warn_once name msg =
-  locked (fun () ->
-      if not (Hashtbl.mem env_flag_warned name) then begin
-        Hashtbl.add env_flag_warned name ();
-        Printf.eprintf "%s\n%!" msg
-      end)
+let warn_once = Repro_util.Env.warn_once
 
 (* Mirrors Engine's REPRO_JOBS handling: malformed values warn once
-   and fall back; out-of-range values warn once and clamp. *)
+   and fall back; out-of-range values warn once and clamp. Non-finite
+   fractions are rejected outright (sampling disabled) — a NaN
+   fraction would silently leak into every plan and cache key. *)
 let clamp_fraction ~where f =
-  let f' =
-    if f < 0.01 || f > 1.0 then begin
-      warn_once ("sample-clamp:" ^ where)
-        (Printf.sprintf
-           "frontend-repro: clamping %s=%g to the accepted sampling range \
-            [0.01, 1.0]"
-           where f);
-      Float.max 0.01 (Float.min 1.0 f)
-    end
-    else f
-  in
-  (* at or above 0.995 the plan is exhaustive anyway: run unsampled *)
-  if f' >= 0.995 then None else Some f'
+  if not (Float.is_finite f) then begin
+    warn_once ("sample-invalid:" ^ where)
+      (Printf.sprintf
+         "frontend-repro: ignoring non-finite %s=%g (want a fraction in \
+          [0.01, 1.0]); sampling disabled"
+         where f);
+    None
+  end
+  else begin
+    let f' =
+      if f < 0.01 || f > 1.0 then begin
+        warn_once ("sample-clamp:" ^ where)
+          (Printf.sprintf
+             "frontend-repro: clamping %s=%g to the accepted sampling range \
+              [0.01, 1.0]"
+             where f);
+        Float.max 0.01 (Float.min 1.0 f)
+      end
+      else f
+    in
+    (* at or above 0.995 the plan is exhaustive anyway: run unsampled *)
+    if f' >= 0.995 then None else Some f'
+  end
 
 let sample_override : float option option ref = ref None
 let set_sampled f = sample_override := Some f
@@ -219,18 +210,14 @@ let sample_fraction () =
   | Some None -> None
   | Some (Some f) -> clamp_fraction ~where:"--sample" f
   | None -> (
-      match Sys.getenv_opt "REPRO_SAMPLE" with
+      (* Env warns once on malformed / non-finite values and clamps
+         out-of-range ones into [0.01, 1.0]. *)
+      match
+        Repro_util.Env.float_clamped ~name:"REPRO_SAMPLE" ~min:0.01 ~max:1.0 ()
+      with
       | None -> None
-      | Some s -> (
-          match float_of_string_opt s with
-          | None ->
-              warn_once "REPRO_SAMPLE"
-                (Printf.sprintf
-                   "frontend-repro: ignoring invalid REPRO_SAMPLE=%S (want a \
-                    fraction in [0.01, 1.0], e.g. 0.25); sampling disabled"
-                   s);
-              None
-          | Some f -> clamp_fraction ~where:"REPRO_SAMPLE" f))
+      | Some f when f >= 0.995 -> None (* exhaustive plan: run unsampled *)
+      | Some f -> Some f)
 
 (* ------------------------------------------------------------------ *)
 (* Strict mode and degradation holes.
@@ -269,18 +256,12 @@ let clear_holes () = locked (fun () -> holes_ref := [])
 
 let packed_budget_bytes =
   lazy
-    ((match Sys.getenv_opt "REPRO_PACKED_MB" with
-     | None -> 512
-     | Some s -> (
-         match int_of_string_opt s with
-         | Some mb when mb >= 1 -> mb
-         | Some _ | None ->
-             Printf.eprintf
-               "frontend-repro: ignoring invalid REPRO_PACKED_MB=%S (want a \
-                positive integer number of megabytes, e.g. 1..4096); using \
-                the default 512\n%!"
-               s;
-             512))
+    ((match
+        Repro_util.Env.int_clamped ~name:"REPRO_PACKED_MB" ~min:1
+          ~max:1_048_576 ()
+      with
+     | Some mb -> mb
+     | None -> 512)
     * 1024 * 1024)
 
 type packed_entry = {

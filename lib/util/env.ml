@@ -1,0 +1,87 @@
+(* One registry for every "warn once per process" diagnostic about a
+   malformed environment knob. Guarded by a mutex: the Server daemon
+   and Engine workers may parse env from several domains at once. *)
+
+let lock = Mutex.create ()
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let warn_once key msg =
+  Mutex.protect lock (fun () ->
+      if not (Hashtbl.mem warned key) then begin
+        Hashtbl.add warned key ();
+        Printf.eprintf "%s\n%!" msg
+      end)
+
+let invalid name v want =
+  warn_once
+    (Printf.sprintf "%s:invalid:%s" name v)
+    (Printf.sprintf
+       "frontend-repro: ignoring invalid %s=%S (want %s); using the default"
+       name v want)
+
+let clamped name v ~lo ~hi shown =
+  warn_once
+    (Printf.sprintf "%s:clamp:%s" name v)
+    (Printf.sprintf "frontend-repro: clamping %s=%s to the accepted range %s"
+       name v
+       (Printf.sprintf "[%s, %s] (using %s)" lo hi shown))
+
+let int_clamped ?(clamp_warns = true) ~name ~min ~max () =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | None ->
+          invalid name s (Printf.sprintf "an integer in %d..%d" min max);
+          None
+      | Some v when v >= min && v <= max -> Some v
+      | Some v ->
+          let c = Stdlib.max min (Stdlib.min max v) in
+          if clamp_warns then
+            clamped name (string_of_int v) ~lo:(string_of_int min)
+              ~hi:(string_of_int max) (string_of_int c);
+          Some c)
+
+let float_clamped ?(clamp_warns = true) ~name ~min ~max () =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | None ->
+          invalid name s (Printf.sprintf "a number in [%g, %g]" min max);
+          None
+      | Some v when not (Float.is_finite v) ->
+          invalid name s (Printf.sprintf "a finite number in [%g, %g]" min max);
+          None
+      | Some v when v >= min && v <= max -> Some v
+      | Some v ->
+          let c = Float.max min (Float.min max v) in
+          if clamp_warns then
+            clamped name (Printf.sprintf "%g" v) ~lo:(Printf.sprintf "%g" min)
+              ~hi:(Printf.sprintf "%g" max)
+              (Printf.sprintf "%g" c);
+          Some c)
+
+let float_positive ~name ~default () =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when Float.is_finite v && v > 0.0 -> v
+      | Some _ | None ->
+          invalid name s
+            (Printf.sprintf "a finite positive number, e.g. %g" default);
+          default)
+
+let flag ~name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "false" | "no" | "off" -> false
+      | "1" | "true" | "yes" | "on" -> true
+      | _ ->
+          invalid name s
+            (Printf.sprintf "0/false/no or 1/true/yes; default is %s"
+               (if default then "enabled" else "disabled"));
+          default)

@@ -1,0 +1,46 @@
+(** Audited environment-variable parsing with warn-once diagnostics.
+
+    Every [REPRO_*] knob used to hand-copy the same pattern: read the
+    variable, validate, warn on stderr exactly once per process when
+    the value is malformed, and fall back to (or clamp toward) a
+    documented default. This module is the single entry point for
+    that pattern, so a long-lived process (notably the
+    {!Repro_core.Server} daemon, whose reload path re-reads the
+    environment) audits every knob through one code path.
+
+    All readers re-read the environment on every call — tests and the
+    daemon's reload flip values with [Unix.putenv] — but each distinct
+    warning is printed at most once per process. The warn-once
+    registry is guarded by a mutex; readers are domain-safe. *)
+
+val warn_once : string -> string -> unit
+(** [warn_once key msg] prints [msg] to stderr the first time [key]
+    is seen, and never again. Exposed so spec-shaped parsers (e.g.
+    {!Repro_util.Faults}) share the same once-per-process registry as
+    the scalar helpers below. *)
+
+val int_clamped :
+  ?clamp_warns:bool -> name:string -> min:int -> max:int -> unit -> int option
+(** Read integer variable [name]. [None] when unset, or when the
+    value is not an integer (warns once, naming the accepted range).
+    An out-of-range value clamps into [[min, max]], warning once
+    unless [clamp_warns] is [false] (for knobs like [REPRO_JOBS]
+    whose upper clamp is documented, expected behaviour). *)
+
+val float_clamped :
+  ?clamp_warns:bool ->
+  name:string -> min:float -> max:float -> unit -> float option
+(** Read float variable [name]. [None] when unset, or when the value
+    is not a float or not finite (warns once). Out-of-range values
+    clamp into [[min, max]] like {!int_clamped}. *)
+
+val float_positive : name:string -> default:float -> unit -> float
+(** Read float variable [name] with [default] when unset. Malformed,
+    non-finite ([nan], [inf]) and non-positive values warn once and
+    fall back to [default] — they are rejected, not clamped, since a
+    scale of [0] or [nan] would silently poison every measurement
+    derived from it. *)
+
+val flag : name:string -> default:bool -> bool
+(** Read boolean variable [name]: [0/false/no] and [1/true/yes] in
+    any case; anything else warns once and returns [default]. *)

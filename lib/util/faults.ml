@@ -21,20 +21,19 @@ let injected () = Atomic.get injected_total
 let active () = !active_ref
 let spec () = !spec_ref
 
-let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
-
+(* Per-entry diagnostics share the process-wide warn-once registry in
+   {!Env}, so a daemon that reloads the same malformed spec many
+   times still warns exactly once. *)
 let warn_once entry fmt =
   Printf.ksprintf
     (fun msg ->
-      if not (Hashtbl.mem warned entry) then begin
-        Hashtbl.add warned entry ();
-        Printf.eprintf
-          "frontend-repro: ignoring invalid REPRO_FAULTS entry %S (%s); \
-           format is site:prob:seed with site one of all %s, prob a float \
-           clamped to 0..1, seed an integer\n%!"
-          entry msg
-          (String.concat " " sites)
-      end)
+      Env.warn_once ("REPRO_FAULTS:" ^ entry)
+        (Printf.sprintf
+           "frontend-repro: ignoring invalid REPRO_FAULTS entry %S (%s); \
+            format is site:prob:seed with site one of all %s, prob a float \
+            clamped to 0..1, seed an integer"
+           entry msg
+           (String.concat " " sites)))
     fmt
 
 let parse_entry entry =
@@ -89,7 +88,8 @@ let configure s =
                   (fun r -> Printf.sprintf "%s:%g:%d" r.rsite r.prob r.seed)
                   parsed))
 
-let () = configure (Sys.getenv_opt "REPRO_FAULTS")
+let refresh_from_env () = configure (Sys.getenv_opt "REPRO_FAULTS")
+let () = refresh_from_env ()
 
 (* Deterministic uniform draw: the first 48 bits of an MD5 over
    (seed, site, tick). Digest on the hot path is acceptable — the

@@ -47,6 +47,12 @@ val configure : string option -> unit
     disables injection. Called once at startup with [REPRO_FAULTS]
     when set. *)
 
+val refresh_from_env : unit -> unit
+(** Re-read [REPRO_FAULTS] and {!configure} from it. The startup
+    configuration is exactly one call to this; a long-lived process
+    (the Server daemon's reload path) calls it again so a changed
+    environment does not silently keep the stale fault config. *)
+
 val spec : unit -> string option
 (** The spec currently in force (normalized), [None] when disabled. *)
 

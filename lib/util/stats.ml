@@ -61,10 +61,14 @@ let weighted_mean pairs =
   in
   if wsum = 0.0 then nan else vsum /. wsum
 
-let percentile a p =
-  if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
-  let sorted = Array.copy a in
-  Array.sort compare sorted;
+(* [Float.compare], not polymorphic [compare]: the sort is on the hot
+   latency-percentile path of the bench load generator, where the
+   polymorphic-compare penalty is measurable, and it makes the NaN
+   order explicit — [Float.compare] is a total order with every NaN
+   below every number, so an array containing NaN yields NaN for low
+   percentiles deterministically instead of depending on input
+   order. *)
+let percentile_sorted sorted p =
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin
@@ -74,6 +78,18 @@ let percentile a p =
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
+
+let percentile a p =
+  if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  percentile_sorted sorted p
+
+let percentiles a ps =
+  if Array.length a = 0 then invalid_arg "Stats.percentiles: empty array";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  List.map (percentile_sorted sorted) ps
 
 let median a = percentile a 50.0
 

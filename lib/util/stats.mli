@@ -39,8 +39,18 @@ val weighted_mean : (float * float) list -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] for [p] in [0,100]; linear interpolation between
-    closest ranks; the array is sorted internally (copy, not in place).
-    Raises [Invalid_argument] on an empty array. *)
+    closest ranks; the array is sorted internally (copy, not in place)
+    with [Float.compare]. NaN handling is therefore explicit and
+    deterministic: [Float.compare] is a total order placing every NaN
+    below every number, so an array containing NaN returns NaN for
+    percentiles that land on (or interpolate with) a NaN rank — the
+    low end — and the finite values for the rest, independent of the
+    input order. Raises [Invalid_argument] on an empty array. *)
+
+val percentiles : float array -> float list -> float list
+(** [percentiles a ps] equals [List.map (percentile a) ps] but sorts
+    [a] once — the load-generator path computes p50/p90/p99 of one
+    latency array. Raises [Invalid_argument] on an empty array. *)
 
 val median : float array -> float
 

@@ -1,12 +1,4 @@
-let truthy s =
-  match String.lowercase_ascii s with
-  | "1" | "true" | "yes" | "on" -> true
-  | _ -> false
-
-let env_trace =
-  match Sys.getenv_opt "REPRO_TRACE" with
-  | Some v -> truthy v
-  | None -> false
+let env_trace = Env.flag ~name:"REPRO_TRACE" ~default:false
 
 let now_ns () = Monotonic_clock.now ()
 

@@ -1,6 +1,7 @@
 (* Unit and property tests for Repro_util. *)
 
 module Rng = Repro_util.Rng
+module Env = Repro_util.Env
 module Stats = Repro_util.Stats
 module Table = Repro_util.Table
 module Units = Repro_util.Units
@@ -143,6 +144,79 @@ let test_percentile_empty () =
   Alcotest.check_raises "empty raises"
     (Invalid_argument "Stats.percentile: empty array") (fun () ->
       ignore (Stats.percentile [||] 50.0))
+
+(* Float.compare is a total order with every NaN below every number,
+   so NaN-containing arrays have pinned, input-order-independent
+   percentiles: NaN at the low end, finite values above. *)
+let test_percentile_nan () =
+  let check_arr label a =
+    Alcotest.(check bool)
+      (label ^ " p0 nan") true
+      (Float.is_nan (Stats.percentile a 0.0));
+    check_float (label ^ " p100") 3.0 (Stats.percentile a 100.0);
+    (* sorted [nan; 1; 2; 3]: rank 1.5 interpolates 1 and 2 *)
+    check_float (label ^ " p50") 1.5 (Stats.percentile a 50.0)
+  in
+  check_arr "nan first" [| nan; 1.0; 2.0; 3.0 |];
+  check_arr "nan last" [| 3.0; 1.0; 2.0; nan |];
+  Alcotest.(check bool)
+    "all-nan median" true
+    (Float.is_nan (Stats.median [| nan; nan |]))
+
+let test_percentiles_many () =
+  let a = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check (list (float 1e-9)))
+    "one sort, many ranks" [ 1.0; 3.0; 5.0 ]
+    (Stats.percentiles a [ 0.0; 50.0; 100.0 ]);
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentiles: empty array") (fun () ->
+      ignore (Stats.percentiles [||] [ 50.0 ]))
+
+(* Env: the shared warn-once clamp helper behind every REPRO_* knob.
+   Warnings go to stderr (not asserted here); the values are. *)
+let test_env_int_clamped () =
+  let get () = Env.int_clamped ~name:"T_ENV_INT" ~min:1 ~max:64 () in
+  Alcotest.(check (option int)) "unset" None (get ());
+  Unix.putenv "T_ENV_INT" "12";
+  Alcotest.(check (option int)) "in range" (Some 12) (get ());
+  Unix.putenv "T_ENV_INT" "999";
+  Alcotest.(check (option int)) "clamps high" (Some 64) (get ());
+  Unix.putenv "T_ENV_INT" "-3";
+  Alcotest.(check (option int)) "clamps low" (Some 1) (get ());
+  Unix.putenv "T_ENV_INT" "zork";
+  Alcotest.(check (option int)) "malformed" None (get ())
+
+let test_env_float_clamped () =
+  let get () = Env.float_clamped ~name:"T_ENV_FLOAT" ~min:0.01 ~max:1.0 () in
+  Unix.putenv "T_ENV_FLOAT" "0.5";
+  Alcotest.(check (option (float 1e-9))) "in range" (Some 0.5) (get ());
+  Unix.putenv "T_ENV_FLOAT" "7";
+  Alcotest.(check (option (float 1e-9))) "clamps" (Some 1.0) (get ());
+  Unix.putenv "T_ENV_FLOAT" "nan";
+  Alcotest.(check (option (float 1e-9))) "nan rejected" None (get ());
+  Unix.putenv "T_ENV_FLOAT" "inf";
+  Alcotest.(check (option (float 1e-9))) "inf rejected" None (get ())
+
+let test_env_float_positive () =
+  let get () = Env.float_positive ~name:"T_ENV_SCALE" ~default:1.0 () in
+  Alcotest.(check (float 1e-9)) "unset" 1.0 (get ());
+  Unix.putenv "T_ENV_SCALE" "0.25";
+  Alcotest.(check (float 1e-9)) "positive" 0.25 (get ());
+  List.iter
+    (fun bad ->
+      Unix.putenv "T_ENV_SCALE" bad;
+      Alcotest.(check (float 1e-9)) (bad ^ " rejected") 1.0 (get ()))
+    [ "0"; "-2"; "nan"; "inf"; "fast" ]
+
+let test_env_flag () =
+  let get () = Env.flag ~name:"T_ENV_FLAG" ~default:true in
+  Alcotest.(check bool) "unset" true (get ());
+  Unix.putenv "T_ENV_FLAG" "off";
+  Alcotest.(check bool) "off" false (get ());
+  Unix.putenv "T_ENV_FLAG" "ON";
+  Alcotest.(check bool) "ON" true (get ());
+  Unix.putenv "T_ENV_FLAG" "junk";
+  Alcotest.(check bool) "junk keeps default" true (get ())
 
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
@@ -327,8 +401,15 @@ let () =
          Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
          Alcotest.test_case "percentile" `Quick test_percentile;
          Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+         Alcotest.test_case "percentile nan order" `Quick test_percentile_nan;
+         Alcotest.test_case "percentiles one-sort" `Quick test_percentiles_many;
          Alcotest.test_case "histogram" `Quick test_histogram;
          Alcotest.test_case "bytes_for_coverage" `Quick test_bytes_for_coverage ]);
+      ("env",
+       [ Alcotest.test_case "int clamped" `Quick test_env_int_clamped;
+         Alcotest.test_case "float clamped" `Quick test_env_float_clamped;
+         Alcotest.test_case "float positive" `Quick test_env_float_positive;
+         Alcotest.test_case "flag" `Quick test_env_flag ]);
       ("table",
        [ Alcotest.test_case "render" `Quick test_table_render;
          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
