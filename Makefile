@@ -43,15 +43,16 @@ bench-json: build
 # carry the stream-vs-replay probe (stream_ms / replay_ms /
 # sweep_speedup), the fused-kernel probe (unfused_ms / fused_ms /
 # fused_speedup) and the sampling probe (sampled_ms / sampled_speedup
-# / max_rel_error) — and validate the emitted schema (v6); the check
+# / max_rel_error) — and validate the emitted schema (v7); the check
 # fails if any sweep's fused_speedup or sampled_speedup drops below
-# 1.0, or any max_rel_error exceeds 0.02.
+# 1.0, or any max_rel_error exceeds 0.02. fig8p adds the learned
+# block (lru_mpki / preuse_mpki / crossover_size) to the file.
 ci: build
 	$(DUNE) runtest
 	rm -f BENCH_results.json
 	REPRO_SCALE=0.05 REPRO_CACHE=0 \
 	  $(DUNE) exec bench/main.exe -- \
-	    fig1 fig5 fig7 fig8 fig9 --sample 0.25 --json BENCH_results.json
+	    fig1 fig5 fig7 fig8 fig8p fig9 --sample 0.25 --json BENCH_results.json
 	test -s BENCH_results.json
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_results.json
 	$(MAKE) ci-sampled
@@ -61,7 +62,7 @@ ci: build
 # Sampling gate: the trace-sweep figures under representative-region
 # sampling at fraction 0.25, over a fresh cache so the sampling spec
 # lands in every cache key and journal fingerprint from scratch. The
-# schema-v6 entries carry the sampled probe (sampled_ms /
+# schema-v7 entries carry the sampled probe (sampled_ms /
 # sampled_speedup / max_rel_error); the check fails if any sweep's
 # sampled run is slower than the streaming run (sampled_speedup <
 # 1.0) or strays beyond the 2% accuracy gate (max_rel_error > 0.02).
@@ -69,14 +70,14 @@ ci-sampled: build
 	rm -rf _sampled_cache BENCH_sampled.json
 	REPRO_SCALE=0.05 REPRO_CACHE_DIR=_sampled_cache \
 	  $(DUNE) exec bench/main.exe -- \
-	    fig5 fig7 fig8 fig9 --sample 0.25 --json BENCH_sampled.json
+	    fig5 fig7 fig8 fig8p fig9 --sample 0.25 --json BENCH_sampled.json
 	test -s BENCH_sampled.json
 	$(DUNE) exec bench/main.exe -- --check-json BENCH_sampled.json
 	rm -rf _sampled_cache BENCH_sampled.json
 
 # Fault-torture gate: the tier-1 suite plus a bench sweep with every
 # fault site firing at 5% (seed 42). Supervision must absorb the
-# injected failures — the run completes, emits schema-v6 JSON that
+# injected failures — the run completes, emits schema-v7 JSON that
 # validates, and the injected-fault counter in the engine footer
 # proves the sites actually fired. The fresh cache directory also
 # exercises quarantine and torn-write recovery end to end.
@@ -93,7 +94,7 @@ ci-faults: build
 # Daemon gate: drive an in-process characterization server with a
 # short closed-loop load test over a fresh cache — 4 concurrent
 # clients, a zero-downtime reload at the halfway mark — and validate
-# the emitted schema-v6 serve block (p50/p90/p99 latency, throughput,
+# the emitted schema-v7 serve block (p50/p90/p99 latency, throughput,
 # update_lag_ms). --expect-serve makes a missing serve run an error,
 # and the check fails unless every concurrent response was
 # byte-identical to the one-shot renderings.

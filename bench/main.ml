@@ -141,7 +141,7 @@ let speedup_probe ~jobs id =
   end
 
 let is_trace_sim = function
-  | Repro_core.Experiment.Fig5 | Fig6 | Fig7 | Fig8 | Fig9 -> true
+  | Repro_core.Experiment.Fig5 | Fig6 | Fig7 | Fig8 | Fig8p | Fig9 -> true
   | _ -> false
 
 (* Sweep probe for the trace-simulating experiments: the same sweep
@@ -429,14 +429,70 @@ let measurement_json ~jobs m =
         | _ -> J.Null );
       ("max_rel_error", opt m.m_max_rel_error) ]
 
+(* The learned-replacement block (schema v7): the fig8p headline
+   question in machine-readable form. [lru_mpki] is the 32KB/64B/
+   4-way LRU reference, [preuse_mpki] the 16KB/64B/4-way perceptron
+   configuration, both mean I-cache MPKI over every benchmark;
+   [crossover_size] is the smallest swept perceptron size (bytes)
+   whose mean MPKI does not exceed the LRU reference, null when no
+   swept size crosses over. Only computed when fig8p was benched. *)
+let learned_json ids =
+  if not (List.mem Repro_core.Experiment.Fig8p ids) then J.Null
+  else begin
+    let sizes = [ 8192; 16384; 32768 ] in
+    let configs =
+      Array.of_list
+        (A.Icache_sweep.cfg (32768, 64, 4)
+        :: List.map
+             (fun s ->
+               A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (s, 64, 4))
+             sizes)
+    in
+    let profiles = W.Suites.all in
+    let sums = Array.make (Array.length configs) 0.0 in
+    List.iter
+      (fun (p : W.Profile.t) ->
+        let insts =
+          max 50_000 (int_of_float (float_of_int p.total_insts *. scale))
+        in
+        let tr = W.Executor.trace (W.Executor.create ~insts p) in
+        let rs = A.Icache_sweep.run (A.Tool.Source.of_trace tr) configs in
+        Array.iteri
+          (fun i r ->
+            sums.(i) <- sums.(i) +. A.Icache_sweep.mpki r A.Branch_mix.Total)
+          rs)
+      profiles;
+    let n = float_of_int (List.length profiles) in
+    let mean i = sums.(i) /. n in
+    let lru_mpki = mean 0 in
+    let preuse_of_size sz =
+      let rec idx i = function
+        | s :: rest -> if s = sz then mean (i + 1) else idx (i + 1) rest
+        | [] -> assert false
+      in
+      idx 0 sizes
+    in
+    let crossover =
+      List.find_opt (fun sz -> preuse_of_size sz <= lru_mpki) sizes
+    in
+    J.Obj
+      [ ("lru_mpki", J.Num lru_mpki);
+        ("preuse_mpki", J.Num (preuse_of_size 16384));
+        ( "crossover_size",
+          match crossover with
+          | Some sz -> J.Num (float_of_int sz)
+          | None -> J.Null ) ]
+  end
+
 (* [serve] is the pre-rendered JSON of a --serve-bench run ([J.Null]
-   when the load generator did not run); schema v6 always carries the
+   when the load generator did not run); schema v7 always carries the
    field so the validator can tell "did not run" from "emitter
-   regressed". *)
-let emit_json ~jobs ?(serve = J.Null) path rows =
+   regressed". [learned] is the fig8p learned-replacement summary,
+   null unless fig8p was benched. *)
+let emit_json ~jobs ?(serve = J.Null) ?(learned = J.Null) path rows =
   let doc =
     J.Obj
-      [ ("schema_version", J.Num 6.0);
+      [ ("schema_version", J.Num 7.0);
         ("scale", J.Num scale);
         ("jobs", J.Num (float_of_int jobs));
         ("packed", J.Bool (Repro_core.Experiment.packed_enabled ()));
@@ -446,6 +502,7 @@ let emit_json ~jobs ?(serve = J.Null) path rows =
           | Some s -> J.Str s
           | None -> J.Null );
         ("serve", serve);
+        ("learned", learned);
         ("experiments", J.Arr (List.map (measurement_json ~jobs) rows)) ]
   in
   Out_channel.with_open_bin path (fun oc ->
@@ -478,11 +535,11 @@ let check_json ?(expect_serve = false) path =
         | None -> fail "field %S missing" name
       in
       (match J.member "schema_version" doc with
-      | Some (J.Num v) when v = 6.0 -> ()
-      | Some (J.Num v) -> fail "schema_version %g (want 6)" v
+      | Some (J.Num v) when v = 7.0 -> ()
+      | Some (J.Num v) -> fail "schema_version %g (want 7)" v
       | Some _ -> fail "schema_version is not a number"
       | None -> fail "top-level \"schema_version\" missing");
-      (* The serve block: always present in v6; null when the load
+      (* The serve block: always present in v7; null when the load
          generator did not run. When a serve run is recorded, its
          latency/throughput/lag fields must be numbers and the
          byte-identity gate must have held — a daemon that serves
@@ -526,6 +583,34 @@ let check_json ?(expect_serve = false) path =
                     response diverged from the one-shot rendering"
           | _ -> fail "serve.responses_identical missing or not a boolean")
       | Some _ -> fail "\"serve\" is neither an object nor null");
+      (* The learned block: always present in v7; null when fig8p was
+         not benched. When recorded, the two MPKI anchors must be
+         non-negative numbers and the crossover size, if any, one of
+         the swept power-of-two capacities. *)
+      (match J.member "learned" doc with
+      | None -> fail "top-level \"learned\" field missing"
+      | Some J.Null -> ()
+      | Some (J.Obj _ as l) ->
+          let lnum name =
+            match J.member name l with
+            | Some (J.Num v) -> v
+            | Some _ -> fail "learned.%s is not a number" name
+            | None -> fail "learned.%s missing" name
+          in
+          List.iter
+            (fun f ->
+              let v = lnum f in
+              if Float.is_nan v || v < 0.0 then
+                fail "learned.%s is %g (want a non-negative number)" f v)
+            [ "lru_mpki"; "preuse_mpki" ];
+          (match J.member "crossover_size" l with
+          | Some J.Null -> ()
+          | Some (J.Num v)
+            when List.mem v [ 8192.0; 16384.0; 32768.0 ] -> ()
+          | Some (J.Num v) ->
+              fail "learned.crossover_size %g is not a swept capacity" v
+          | _ -> fail "learned.crossover_size missing or not number/null")
+      | Some _ -> fail "\"learned\" is neither an object nor null");
       match J.member "experiments" doc with
       | Some (J.Arr rows) ->
           List.iter
@@ -1105,7 +1190,7 @@ let parse_flags args =
 
 let journal_fingerprint ~measure ids =
   String.concat "|"
-    ([ "schema6"; Repro_core.Cache.version; Printf.sprintf "%h" scale;
+    ([ "schema7"; Repro_core.Cache.version; Printf.sprintf "%h" scale;
        string_of_bool measure;
        (match Repro_core.Experiment.sample_fraction () with
        | Some f -> Printf.sprintf "%h" f
@@ -1135,7 +1220,7 @@ let () =
   | Some cfg ->
       (* Load-generator mode: drive the daemon instead of
          regenerating experiments; the emitted file still carries the
-         full v6 schema (with an empty experiment list). *)
+         full v7 schema (with an empty experiment list). *)
       let result = serve_bench cfg ~jobs in
       (match json_out with
       | Some path -> emit_json ~jobs ~serve:(serve_json result) path []
@@ -1226,7 +1311,7 @@ let () =
       supervision
   end;
   (match json_out with
-  | Some path -> emit_json ~jobs path rows
+  | Some path -> emit_json ~jobs ~learned:(learned_json ids) path rows
   | None -> ());
   (* Everything the journal covers has been produced and emitted: a
      finished run leaves no journal behind. *)

@@ -8,10 +8,10 @@ type t = {
   mutable last_line : int; (* line currently being consumed; -1 = none *)
 }
 
-let create ?next_line_prefetch ~size_bytes ~line_bytes ~assoc () =
+let create ?next_line_prefetch ?policy ~size_bytes ~line_bytes ~assoc () =
   { cache =
-      Repro_frontend.Icache.create ?next_line_prefetch ~size_bytes ~line_bytes
-        ~assoc ();
+      Repro_frontend.Icache.create ?next_line_prefetch ?policy ~size_bytes
+        ~line_bytes ~assoc ();
     line_shift = Repro_util.Units.log2 line_bytes;
     insts = Tool.Split.create ();
     misses = Tool.Split.create ();

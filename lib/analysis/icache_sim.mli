@@ -10,8 +10,10 @@
 type t
 
 val create :
-  ?next_line_prefetch:bool -> size_bytes:int -> line_bytes:int -> assoc:int ->
-  unit -> t
+  ?next_line_prefetch:bool -> ?policy:Repro_frontend.Replacement.spec ->
+  size_bytes:int -> line_bytes:int -> assoc:int -> unit -> t
+(** [policy] defaults to {!Repro_frontend.Replacement.Lru}. *)
+
 val feed : t -> Repro_isa.Inst.t -> unit
 val observer : t -> Repro_isa.Inst.t -> unit
 

@@ -18,6 +18,19 @@ type t = {
   approx : approx option;
 }
 
+(* A sweep point: geometry plus replacement policy. The policy never
+   influences the access-vs-extract decision (that is stream + line
+   size only), so mixed-policy sweeps share line-size groups. *)
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  policy : F.Replacement.spec;
+}
+
+let cfg ?(policy = F.Replacement.Lru) (size_bytes, line_bytes, assoc) =
+  { size_bytes; line_bytes; assoc; policy }
+
 (* One line-size group: the access-vs-extract decision and the
    current-fetch-line register depend only on the instruction stream
    and the line size, never on cache contents, so both are shared by
@@ -54,8 +67,8 @@ let section_bit (i : Inst.t) =
    no extra line-size group to the sampled passes — per-instruction
    group overhead, not cache-access work, dominates the batched
    feed. *)
-let pivot_config = (16 * 1024, 64, 2)
-let canary_configs = [| (8 * 1024, 64, 2); (32 * 1024, 64, 8) |]
+let pivot_config = cfg (16 * 1024, 64, 2)
+let canary_configs = [| cfg (8 * 1024, 64, 2); cfg (32 * 1024, 64, 8) |]
 
 (* Shared group machinery: both the exact and the sampled paths
    drive every cache through line-size groups with deferred same-line
@@ -208,11 +221,12 @@ let run_sampled ?next_line_prefetch pt plan configs =
   let nc = Array.length canary_configs in
   let caches =
     Array.map
-      (fun (size_bytes, line_bytes, assoc) ->
-        F.Icache.create ?next_line_prefetch ~size_bytes ~line_bytes ~assoc ())
+      (fun c ->
+        F.Icache.create ?next_line_prefetch ~policy:c.policy
+          ~size_bytes:c.size_bytes ~line_bytes:c.line_bytes ~assoc:c.assoc ())
       ext_configs
   in
-  let line_bytes = Array.map (fun (_, lb, _) -> lb) ext_configs in
+  let line_bytes = Array.map (fun c -> c.line_bytes) ext_configs in
   let regions = plan.Regions.regions in
   let nr = Array.length regions in
   let p = plan.Regions.prefix_regions in
@@ -369,11 +383,12 @@ and run_exact ?next_line_prefetch src configs =
   let n = Array.length configs in
   let caches =
     Array.map
-      (fun (size_bytes, line_bytes, assoc) ->
-        F.Icache.create ?next_line_prefetch ~size_bytes ~line_bytes ~assoc ())
+      (fun c ->
+        F.Icache.create ?next_line_prefetch ~policy:c.policy
+          ~size_bytes:c.size_bytes ~line_bytes:c.line_bytes ~assoc:c.assoc ())
       configs
   in
-  let line_bytes = Array.map (fun (_, lb, _) -> lb) configs in
+  let line_bytes = Array.map (fun c -> c.line_bytes) configs in
   let groups =
     build_groups ~line_bytes ~members:(Array.init n (fun k -> k))
   in

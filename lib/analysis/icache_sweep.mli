@@ -18,12 +18,24 @@
 type t
 (** Per-configuration result; accessors mirror {!Icache_sim}. *)
 
-val run :
-  ?next_line_prefetch:bool -> Tool.Source.t -> (int * int * int) array ->
-  t array
-(** [run src configs] with [(size_bytes, line_bytes, assoc)] triples;
-    result [i] corresponds to [configs.(i)]. [next_line_prefetch]
-    applies to every configuration of the sweep.
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  policy : Repro_frontend.Replacement.spec;
+}
+(** A sweep point: geometry plus replacement policy. Policies may be
+    mixed freely within one sweep — the access-vs-extract decision
+    depends only on the stream and the line size, so mixed-policy
+    configurations still share line-size groups. *)
+
+val cfg :
+  ?policy:Repro_frontend.Replacement.spec -> int * int * int -> config
+(** [(size_bytes, line_bytes, assoc)] with [policy] (default [Lru]). *)
+
+val run : ?next_line_prefetch:bool -> Tool.Source.t -> config array -> t array
+(** [run src configs]; result [i] corresponds to [configs.(i)].
+    [next_line_prefetch] applies to every configuration of the sweep.
 
     A [Sampled] source simulates every config over the plan's prefix
     while a fixed pivot cache covers the full capture; each cell is

@@ -15,15 +15,17 @@ type id =
   | Fig6
   | Fig7
   | Fig8
+  | Fig8p
   | Fig9
   | Tab2
   | Tab3
   | Fig10
+  | Fig10p
   | Fig11
 
 let all =
-  [ Fig1; Fig2; Tab1; Fig3; Fig4; Fig5; Fig6; Fig7; Fig8; Fig9; Tab2; Tab3;
-    Fig10; Fig11 ]
+  [ Fig1; Fig2; Tab1; Fig3; Fig4; Fig5; Fig6; Fig7; Fig8; Fig8p; Fig9; Tab2;
+    Tab3; Fig10; Fig10p; Fig11 ]
 
 let to_string = function
   | Fig1 -> "fig1"
@@ -35,10 +37,12 @@ let to_string = function
   | Fig6 -> "fig6"
   | Fig7 -> "fig7"
   | Fig8 -> "fig8"
+  | Fig8p -> "fig8p"
   | Fig9 -> "fig9"
   | Tab2 -> "tab2"
   | Tab3 -> "tab3"
   | Fig10 -> "fig10"
+  | Fig10p -> "fig10p"
   | Fig11 -> "fig11"
 
 let of_string s =
@@ -50,14 +54,18 @@ let describe = function
   | Tab1 -> "Backward vs forward taken conditional branches"
   | Fig3 -> "Static instruction footprint and 99%-dynamic footprint"
   | Fig4 -> "Average basic-block length and distance between taken branches"
-  | Fig5 -> "Branch MPKI for nine predictor configurations"
+  | Fig5 -> "Branch MPKI for eleven predictor configurations"
   | Fig6 -> "Branch MPKI breakdown by mispredicted outcome (gshare)"
   | Fig7 -> "BTB MPKI across entry counts and associativities"
   | Fig8 -> "I-cache MPKI across sizes and associativities (64B lines)"
+  | Fig8p ->
+      "I-cache MPKI under perceptron reuse/bypass replacement (64B lines)"
   | Fig9 -> "I-cache MPKI across line widths (16KB)"
   | Tab2 -> "Branch-predictor size parameters and hardware budgets"
   | Tab3 -> "Front-end structure shares of core area and power"
   | Fig10 -> "CMP execution time, power, energy and ED per suite"
+  | Fig10p -> "CMP comparison with learned I-cache replacement in the \
+               tailored core"
   | Fig11 -> "Per-benchmark normalized CMP execution time"
 
 (* ------------------------------------------------------------------ *)
@@ -117,6 +125,28 @@ let evaluate_cmps scale (p : W.Profile.t) =
       in
       let tagged = List.combine U.Cmp.standard_configs evals in
       locked (fun () -> Hashtbl.replace cmp_evals key tagged);
+      tagged
+
+(* fig10p's learned-replacement CMP evaluations: same shape as
+   [evaluate_cmps] over {!U.Cmp.learned_configs}, under its own cache
+   kind so the two artifact families can never collide. *)
+let cmp_evals_learned :
+    (string * float, (U.Cmp.config * U.Cmp.eval) list) Hashtbl.t =
+  Hashtbl.create 64
+
+let evaluate_cmps_learned scale (p : W.Profile.t) =
+  let key = (p.name, scale) in
+  match locked (fun () -> Hashtbl.find_opt cmp_evals_learned key) with
+  | Some e -> e
+  | None ->
+      let evals =
+        Cache.memoize (Cache.key ~profile:p ~scale ~kind:"cmpl") (fun () ->
+            let insts = scaled_insts p scale in
+            note_sim_insts insts;
+            U.Cmp.evaluate_many ~insts U.Cmp.learned_configs p)
+      in
+      let tagged = List.combine U.Cmp.learned_configs evals in
+      locked (fun () -> Hashtbl.replace cmp_evals_learned key tagged);
       tagged
 
 (* ------------------------------------------------------------------ *)
@@ -369,6 +399,7 @@ let clear_cache ?(disk = false) () =
   locked (fun () ->
       Hashtbl.reset characterizations;
       Hashtbl.reset cmp_evals;
+      Hashtbl.reset cmp_evals_learned;
       Hashtbl.reset packed_traces;
       Hashtbl.reset plans;
       packed_bytes := 0);
@@ -923,8 +954,15 @@ let icache_table ~jobs ~where:where_root ~title ~configs ~benchmarks scale
     Table.create ~title
       ([ ((if per_suite then "suite" else "benchmark"), Table.Left) ]
       @ List.map
-          (fun (s, l, a) ->
-            (Printf.sprintf "%dK/%dB/%dw" (s / 1024) l a, Table.Right))
+          (fun (c : A.Icache_sweep.config) ->
+            let geom =
+              Printf.sprintf "%dK/%dB/%dw" (c.size_bytes / 1024) c.line_bytes
+                c.assoc
+            in
+            (* Learned-policy columns carry a "+P" marker; plain LRU
+               keeps the historical label (and golden tables). *)
+            ( (if c.policy = F.Replacement.Lru then geom else geom ^ "+P"),
+              Table.Right ))
           configs)
   in
   let carr = Array.of_list configs in
@@ -942,8 +980,9 @@ let icache_table ~jobs ~where:where_root ~title ~configs ~benchmarks scale
         (fun (p : W.Profile.t) ->
           let sims =
             List.map
-              (fun (s, l, a) ->
-                A.Icache_sim.create ~size_bytes:s ~line_bytes:l ~assoc:a ())
+              (fun (c : A.Icache_sweep.config) ->
+                A.Icache_sim.create ~policy:c.policy ~size_bytes:c.size_bytes
+                  ~line_bytes:c.line_bytes ~assoc:c.assoc ())
               configs
           in
           A.Icache_sim.run_all (sampled_source scale p) sims;
@@ -978,20 +1017,40 @@ let icache_table ~jobs ~where:where_root ~title ~configs ~benchmarks scale
   end;
   t
 
+let fig8_points =
+  List.concat_map
+    (fun size -> List.map (fun a -> (size, 64, a)) [ 2; 4; 8 ])
+    [ 8192; 16384; 32768 ]
+
 let fig8 ~jobs scale =
-  let configs =
-    List.concat_map
-      (fun size -> List.map (fun a -> (size, 64, a)) [ 2; 4; 8 ])
-      [ 8192; 16384; 32768 ]
-  in
+  let configs = List.map A.Icache_sweep.cfg fig8_points in
   [ icache_table ~jobs ~where:"fig8" ~title:"Fig 8: I-cache MPKI (64B lines)"
       ~configs ~benchmarks:[] scale true ]
 
+(* Fig 8p: the fig8 size/associativity sweep re-run under the
+   perceptron reuse/bypass policy, plus a headline mixed-policy sweep
+   answering the ROADMAP question directly — does a 16KB learned
+   I-cache beat the 32KB LRU baseline? *)
+let fig8p ~jobs scale =
+  let preuse = F.Replacement.Preuse in
+  let configs = List.map (A.Icache_sweep.cfg ~policy:preuse) fig8_points in
+  let headline =
+    [ A.Icache_sweep.cfg (32768, 64, 4);
+      A.Icache_sweep.cfg ~policy:preuse (16384, 64, 4) ]
+  in
+  [ icache_table ~jobs ~where:"fig8p"
+      ~title:"Fig 8p: I-cache MPKI, perceptron reuse/bypass (64B lines)"
+      ~configs ~benchmarks:[] scale true;
+    icache_table ~jobs ~where:"fig8p-headline"
+      ~title:"Fig 8p (headline): 16KB preuse vs 32KB LRU (64B, 4-way)"
+      ~configs:headline ~benchmarks:[] scale true ]
+
 let fig9 ~jobs scale =
   let configs =
-    List.concat_map
-      (fun line -> List.map (fun a -> (16384, line, a)) [ 2; 4; 8 ])
-      [ 32; 64; 128 ]
+    List.map A.Icache_sweep.cfg
+      (List.concat_map
+         (fun line -> List.map (fun a -> (16384, line, a)) [ 2; 4; 8 ])
+         [ 32; 64; 128 ])
   in
   let mpki_tbl =
     icache_table ~jobs ~where:"fig9"
@@ -1056,6 +1115,8 @@ let tab2 () =
   row "tournament-big" "n=12, m=14" F.Zoo.tournament_big "~16KB";
   row "tage-small" "2 tables, h=4,16" F.Zoo.tage_small "~2KB";
   row "tage-big" "12 tables, h=4..640" F.Zoo.tage_big "~16KB";
+  row "perceptron-small" "128 entries, h=15" F.Zoo.perceptron_small "~2KB";
+  row "perceptron-big" "512 entries, h=31" F.Zoo.perceptron_big "~16KB";
   row "loop predictor" "64 entries"
     (fun () ->
       let lbp = F.Loop_predictor.create () in
@@ -1128,7 +1189,10 @@ let tab3 () =
 (* ------------------------------------------------------------------ *)
 (* Fig 10 / Fig 11 *)
 
-let fig10 scale =
+(* Shared shape of fig10/fig10p: one table per metric, suites as
+   rows, one column per CMP configuration, every cell normalized to
+   the Baseline CMP of the same evaluation family. *)
+let cmp_suite_tables ~fig configs evals_of =
   let metrics =
     [ ("time", fun (e : U.Cmp.eval) -> e.time);
       ("power", fun e -> e.power);
@@ -1141,17 +1205,16 @@ let fig10 scale =
         Table.create
           ~title:
             (Printf.sprintf
-               "Fig 10 (%s): normalized to the Baseline CMP, per suite" mname)
+               "Fig %s (%s): normalized to the Baseline CMP, per suite" fig
+               mname)
           ([ ("suite", Table.Left) ]
           @ List.map
               (fun (c : U.Cmp.config) -> (c.cname, Table.Right))
-              U.Cmp.standard_configs)
+              configs)
       in
       List.iter
         (fun suite ->
-          let per_bench =
-            List.map (evaluate_cmps scale) (W.Suites.by_suite suite)
-          in
+          let per_bench = List.map evals_of (W.Suites.by_suite suite) in
           let ratios =
             List.map
               (fun (cfg : U.Cmp.config) ->
@@ -1164,13 +1227,20 @@ let fig10 scale =
                     per_bench
                 in
                 Repro_util.Stats.mean values)
-              U.Cmp.standard_configs
+              configs
           in
           Table.add_row t
             (Suite.to_string suite :: List.map (fun v -> f2 v) ratios))
         Suite.all;
       t)
     metrics
+
+let fig10 scale =
+  cmp_suite_tables ~fig:"10" U.Cmp.standard_configs (evaluate_cmps scale)
+
+let fig10p scale =
+  cmp_suite_tables ~fig:"10p" U.Cmp.learned_configs
+    (evaluate_cmps_learned scale)
 
 let fig11 scale =
   let t =
@@ -1221,6 +1291,9 @@ let prefetch ~jobs scale id =
   let sup f profiles = ignore (Engine.map_result ~jobs f profiles) in
   let charz profiles = sup (fun p -> ignore (characterize scale p)) profiles in
   let cmps profiles = sup (fun p -> ignore (evaluate_cmps scale p)) profiles in
+  let cmps_learned profiles =
+    sup (fun p -> ignore (evaluate_cmps_learned scale p)) profiles
+  in
   let traces profiles =
     if packed_enabled () then
       sup (fun p -> ignore (packed_trace scale p)) profiles
@@ -1228,8 +1301,9 @@ let prefetch ~jobs scale id =
   match id with
   | Fig1 | Fig2 | Tab1 | Fig3 | Fig4 -> charz W.Suites.all
   | Fig10 -> cmps W.Suites.all
+  | Fig10p -> cmps_learned W.Suites.all
   | Fig11 -> cmps (List.map W.Suites.find W.Suites.fig11_subset)
-  | Fig5 | Fig7 | Fig8 | Fig9 -> traces W.Suites.all
+  | Fig5 | Fig7 | Fig8 | Fig8p | Fig9 -> traces W.Suites.all
   | Fig6 -> traces (List.map W.Suites.find W.Suites.fig6_subset)
   | Tab2 | Tab3 -> ()
 
@@ -1287,10 +1361,12 @@ let run ?(scale = 1.0) ?jobs id =
     | Fig6 -> fig6 ~jobs scale
     | Fig7 -> fig7 ~jobs scale
     | Fig8 -> fig8 ~jobs scale
+    | Fig8p -> fig8p ~jobs scale
     | Fig9 -> fig9 ~jobs scale
     | Tab2 -> tab2 ()
     | Tab3 -> tab3 ()
     | Fig10 -> fig10 scale
+    | Fig10p -> fig10p scale
     | Fig11 -> fig11 scale)
   in
   let tables =

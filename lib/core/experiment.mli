@@ -22,10 +22,16 @@ type id =
   | Fig6  (** branch MPKI breakdown by mispredicted outcome *)
   | Fig7  (** BTB MPKI across sizes and associativities *)
   | Fig8  (** I-cache MPKI across sizes and associativities *)
+  | Fig8p
+      (** I-cache MPKI with perceptron reuse/bypass replacement,
+          plus the headline 16KB-preuse vs 32KB-LRU comparison *)
   | Fig9  (** I-cache MPKI across line widths *)
   | Tab2  (** branch-predictor hardware budgets *)
   | Tab3  (** per-structure area and power on the core budget *)
   | Fig10  (** CMP execution time, power, energy, energy-delay *)
+  | Fig10p
+      (** CMP comparison with learned I-cache replacement in the
+          tailored cores *)
   | Fig11  (** per-benchmark CMP execution time *)
 
 val all : id list

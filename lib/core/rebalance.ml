@@ -32,6 +32,7 @@ let default_candidates =
               { icache_bytes;
                 icache_line;
                 icache_assoc = 8;
+                icache_repl = Repro_frontend.Replacement.Lru;
                 bp;
                 bp_loop;
                 btb_entries;

@@ -16,6 +16,8 @@ type t = {
   prefetched : Bytes.t; (* '\001' = filled by the prefetcher *)
   granules : int;
   prefetch : bool;
+  policy : Replacement.t;
+  preuse : bool; (* policy <> Lru: guards the hot-path hook calls *)
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
@@ -27,7 +29,8 @@ type t = {
   mutable cc_idx : int; (* its flat way index — valid only while the tag matches *)
 }
 
-let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
+let create ?(next_line_prefetch = false) ?(policy = Replacement.Lru)
+    ~size_bytes ~line_bytes ~assoc () =
   let open Repro_util.Units in
   if not (is_power_of_two size_bytes && is_power_of_two line_bytes
           && is_power_of_two assoc) then
@@ -48,6 +51,8 @@ let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
     prefetched = Bytes.make lines '\000';
     granules = line_bytes / 4;
     prefetch = next_line_prefetch;
+    policy = Replacement.create policy ~assoc ~ways:lines;
+    preuse = policy <> Replacement.Lru;
     clock = 0;
     accesses = 0;
     misses = 0;
@@ -61,6 +66,7 @@ let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
 let size_bytes t = t.size
 let line_bytes t = t.line
 let assoc t = t.assoc
+let policy t = Replacement.spec t.policy
 
 let popcount x =
   let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
@@ -75,17 +81,11 @@ let gmask_of t ~offset ~size =
   let g0 = offset / 4 and g1 = min ((offset + size - 1) / 4) (t.granules - 1) in
   ((1 lsl (g1 - g0 + 1)) - 1) lsl g0
 
-(* First invalid way wins, else least-recently-used; ties keep the
-   lowest way index. *)
-let pick_victim t base =
-  let best = ref base in
-  for i = base + 1 to base + t.assoc - 1 do
-    if Array.unsafe_get t.tags !best <> -1
-       && (Array.unsafe_get t.tags i = -1
-           || Array.unsafe_get t.lru i < Array.unsafe_get t.lru !best) then
-      best := i
-  done;
-  !best
+(* Victim selection is the policy's call ({!Replacement.victim}):
+   first invalid way wins for every policy, then LRU picks the lowest
+   stamp (ties keep the lowest way index) and Preuse prefers
+   predicted-dead ways. *)
+let pick_victim t base = Replacement.victim t.policy ~tags:t.tags ~lru:t.lru ~base
 
 let rec find_way t base tag i =
   if i = t.assoc then -1
@@ -95,19 +95,24 @@ let rec find_way t base tag i =
 (* Fill [line_addr] without counting a demand access; used by the
    next-line prefetcher. Does nothing if already resident. *)
 let prefetch_line t line_addr =
-  let base = (line_addr land (t.sets - 1)) * t.assoc in
+  let set = line_addr land (t.sets - 1) in
+  let base = set * t.assoc in
   let tag = line_addr lsr t.set_shift in
   if find_way t base tag 0 = -1 then begin
+    (* Prefetch fills predict and record like demand fills but never
+       bypass, and do not enter the demand-line history. *)
+    if t.preuse then ignore (Replacement.prepare t.policy ~set ~line:line_addr);
     let victim = pick_victim t base in
-    if t.tags.(victim) <> -1 then
-      t.useful_sum <- t.useful_sum +. way_usefulness t victim;
+    let evicted = t.tags.(victim) <> -1 in
+    if evicted then t.useful_sum <- t.useful_sum +. way_usefulness t victim;
     t.tags.(victim) <- tag;
     t.touched.(victim) <- 0;
     Bytes.unsafe_set t.prefetched victim '\001';
     t.filled <- t.filled + 1;
     t.prefetches <- t.prefetches + 1;
     t.clock <- t.clock + 1;
-    t.lru.(victim) <- t.clock
+    t.lru.(victim) <- t.clock;
+    if t.preuse then Replacement.on_fill t.policy ~way:victim ~set ~evicted
   end
 
 let rec access_line t ~line ~gmask =
@@ -123,12 +128,18 @@ let rec access_line t ~line ~gmask =
     Array.unsafe_set t.lru t.cc_idx t.clock;
     Array.unsafe_set t.touched t.cc_idx
       (Array.unsafe_get t.touched t.cc_idx lor gmask);
+    if t.preuse then begin
+      Replacement.on_hit t.policy ~way:t.cc_idx ~set:(line land (t.sets - 1))
+        ~line;
+      Replacement.note_access t.policy ~line
+    end;
     true
   end
   else access_line_slow t ~line ~gmask
 
 and access_line_slow t ~line ~gmask =
-  let base = (line land (t.sets - 1)) * t.assoc in
+  let set = line land (t.sets - 1) in
+  let base = set * t.assoc in
   let tag = line lsr t.set_shift in
   t.accesses <- t.accesses + 1;
   let i = find_way t base tag 0 in
@@ -142,23 +153,40 @@ and access_line_slow t ~line ~gmask =
     Array.unsafe_set t.touched i (Array.unsafe_get t.touched i lor gmask);
     t.cc_line <- line;
     t.cc_idx <- i;
+    if t.preuse then begin
+      Replacement.on_hit t.policy ~way:i ~set ~line;
+      Replacement.note_access t.policy ~line
+    end;
     true
   end
   else begin
     t.misses <- t.misses + 1;
-    let victim = pick_victim t base in
-    if Array.unsafe_get t.tags victim <> -1 then
-      t.useful_sum <- t.useful_sum +. way_usefulness t victim;
-    Array.unsafe_set t.tags victim tag;
-    Array.unsafe_set t.touched victim gmask;
-    Bytes.unsafe_set t.prefetched victim '\000';
-    t.filled <- t.filled + 1;
-    t.clock <- t.clock + 1;
-    Array.unsafe_set t.lru victim t.clock;
-    t.cc_line <- line;
-    t.cc_idx <- victim;
-    if t.prefetch then prefetch_line t (line + 1);
-    false
+    if t.preuse && Replacement.prepare t.policy ~set ~line then begin
+      (* Bypassed demand fill: the line stays absent, so the current-
+         line fast path must not claim it. The next-line prefetcher
+         still sees the miss. *)
+      t.cc_line <- -1;
+      if t.prefetch then prefetch_line t (line + 1);
+      Replacement.note_access t.policy ~line;
+      false
+    end
+    else begin
+      let victim = pick_victim t base in
+      let evicted = Array.unsafe_get t.tags victim <> -1 in
+      if evicted then t.useful_sum <- t.useful_sum +. way_usefulness t victim;
+      Array.unsafe_set t.tags victim tag;
+      Array.unsafe_set t.touched victim gmask;
+      Bytes.unsafe_set t.prefetched victim '\000';
+      t.filled <- t.filled + 1;
+      t.clock <- t.clock + 1;
+      Array.unsafe_set t.lru victim t.clock;
+      t.cc_line <- line;
+      t.cc_idx <- victim;
+      if t.preuse then Replacement.on_fill t.policy ~way:victim ~set ~evicted;
+      if t.prefetch then prefetch_line t (line + 1);
+      if t.preuse then Replacement.note_access t.policy ~line;
+      false
+    end
   end
 
 let access t ~addr ~size =
@@ -248,3 +276,4 @@ let storage_bits t =
   let tag_bits = 48 - Repro_util.Units.log2 t.line - Repro_util.Units.log2 t.sets in
   (t.sets * t.assoc * (tag_bits + 1 + Repro_util.Units.log2 (max 2 t.assoc)))
   + (t.size * 8)
+  + Replacement.storage_bits t.policy

@@ -7,16 +7,21 @@
 type t
 
 val create :
-  ?next_line_prefetch:bool -> size_bytes:int -> line_bytes:int -> assoc:int ->
-  unit -> t
+  ?next_line_prefetch:bool -> ?policy:Replacement.spec -> size_bytes:int ->
+  line_bytes:int -> assoc:int -> unit -> t
 (** All three powers of two; [line_bytes >= 4]; at least one set.
     With [next_line_prefetch] (default false), every demand miss also
     fills the sequentially next line — the "fetch-directed" effect the
-    paper attributes to wide lines, as an explicit mechanism. *)
+    paper attributes to wide lines, as an explicit mechanism.
+    [policy] (default {!Replacement.Lru}) selects the replacement
+    policy; [Lru] is byte-identical to the historical hard-wired
+    behavior. *)
 
 val size_bytes : t -> int
 val line_bytes : t -> int
 val assoc : t -> int
+
+val policy : t -> Replacement.spec
 
 val access : t -> addr:int -> size:int -> bool
 (** Fetch [size] bytes at [addr] (one instruction, or the leading

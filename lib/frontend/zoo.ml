@@ -29,6 +29,17 @@ let tage_big () =
   in
   Tage.pack ~name:"tage-big" (Tage.create ~base_index_bits:13 specs)
 
+(* The perceptron family at the same 2KB / 16KB budget points as the
+   table-based predictors: 8-bit weights, entries * (history + 1)
+   bytes. *)
+let perceptron_small () =
+  Perceptron.pack ~name:"perceptron-small"
+    (Perceptron.create ~entries:128 ~history:15 ())
+
+let perceptron_big () =
+  Perceptron.pack ~name:"perceptron-big"
+    (Perceptron.create ~entries:512 ~history:31 ())
+
 let with_loop base = Loop_predictor.combine (Loop_predictor.create ()) base
 
 (* Declarative description of each base configuration. The gshare
@@ -46,9 +57,11 @@ let base_cores =
   [ ("gshare-big", Gshare_core { history_bits = gshare_big_bits });
     ("tournament-big", Opaque tournament_big);
     ("tage-big", Opaque tage_big);
+    ("perceptron-big", Opaque perceptron_big);
     ("gshare-small", Gshare_core { history_bits = gshare_small_bits });
     ("tournament-small", Opaque tournament_small);
-    ("tage-small", Opaque tage_small) ]
+    ("tage-small", Opaque tage_small);
+    ("perceptron-small", Opaque perceptron_small) ]
 
 let all_names =
   List.map fst base_cores

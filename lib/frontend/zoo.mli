@@ -24,11 +24,18 @@ val tage_small : unit -> Predictor.t
 val tage_big : unit -> Predictor.t
 (** TAGE, twelve tagged tables, histories 4..640 (~14KB). *)
 
+val perceptron_small : unit -> Predictor.t
+(** perceptron, 128 entries over 15 history bits (2KB). *)
+
+val perceptron_big : unit -> Predictor.t
+(** perceptron, 512 entries over 31 history bits (16KB). *)
+
 val with_loop : Predictor.t -> Predictor.t
 (** Attach a fresh 64-entry loop predictor ("L-" prefix). *)
 
 val all_names : string list
-(** The nine names of Fig. 5: [gshare-big] .. [L-tage-small]. *)
+(** The eleven names of Fig. 5: [gshare-big] .. [L-tage-small],
+    including [perceptron-big] and [perceptron-small]. *)
 
 val by_name : string -> Predictor.t
 (** Fresh instance from a Fig. 5 name; raises [Not_found] otherwise. *)

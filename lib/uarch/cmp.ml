@@ -32,6 +32,26 @@ let asymmetric_plus_cmp =
 let standard_configs =
   [ baseline_cmp; tailored_cmp; asymmetric_cmp; asymmetric_plus_cmp ]
 
+(* Fig 10p: the learned-replacement counterparts — the tailored core
+   with perceptron reuse/bypass in the I-cache, alone and in the
+   area-neutral asymmetric++ arrangement, against the two standard
+   reference points. *)
+let tailored_preuse_cmp =
+  { cname = "Tailored-P CMP (8TP)";
+    master = Frontend_config.tailored_preuse;
+    workers = Frontend_config.tailored_preuse;
+    n_workers = 7 }
+
+let asymmetric_plus_preuse_cmp =
+  { cname = "Asymmetric++-P CMP (1B+8TP)";
+    master = Frontend_config.baseline;
+    workers = Frontend_config.tailored_preuse;
+    n_workers = 8 }
+
+let learned_configs =
+  [ baseline_cmp; tailored_cmp; tailored_preuse_cmp;
+    asymmetric_plus_preuse_cmp ]
+
 type eval = {
   time : float;
   power : float;
@@ -101,19 +121,18 @@ let eval_from_measurements c (p : Repro_workload.Profile.t)
 let evaluate_many ?insts configs p =
   let executor = Repro_workload.Executor.create ?insts p in
   let trace = Repro_workload.Executor.trace executor in
-  (* One trace pass measures both core types. *)
-  let measurements =
-    Timing.measure_many
-      [ Frontend_config.baseline; Frontend_config.tailored ]
-      trace
+  (* One trace pass measures every distinct core type the configs
+     use; per-core measurements are independent, so sharing the pass
+     never changes any of them. *)
+  let distinct =
+    List.fold_left
+      (fun acc (c : config) ->
+        let add acc cfg = if List.mem cfg acc then acc else acc @ [ cfg ] in
+        add (add acc c.master) c.workers)
+      [] configs
   in
-  let m_of cfg =
-    if cfg = Frontend_config.baseline then List.nth measurements 0
-    else if cfg = Frontend_config.tailored then List.nth measurements 1
-    else
-      (* Non-standard core: measure separately. *)
-      Timing.measure cfg trace
-  in
+  let measurements = List.combine distinct (Timing.measure_many distinct trace) in
+  let m_of cfg = List.assoc cfg measurements in
   List.map (fun c -> eval_from_measurements c p (m_of c.master) (m_of c.workers))
     configs
 

@@ -29,6 +29,16 @@ val asymmetric_plus_cmp : config
 val standard_configs : config list
 (** The four Fig. 10 configurations, in the paper's order. *)
 
+val tailored_preuse_cmp : config
+(** 8 tailored cores with perceptron reuse/bypass I-caches. *)
+
+val asymmetric_plus_preuse_cmp : config
+(** 1 baseline + 8 tailored-preuse cores. *)
+
+val learned_configs : config list
+(** The fig10p configurations: baseline and tailored references plus
+    the two learned-replacement arrangements. *)
+
 type eval = {
   time : float;  (** seconds (at the model's 2GHz clock) *)
   power : float;  (** time-averaged watts, cores + private L2s *)

@@ -12,6 +12,8 @@ type t = {
   icache_bytes : int;
   icache_line : int;
   icache_assoc : int;
+  icache_repl : Repro_frontend.Replacement.spec;
+      (** I-cache replacement policy ([Lru] for both paper cores). *)
   bp : bp_kind;
   bp_loop : bool;  (** attach the 64-entry loop predictor *)
   btb_entries : int;
@@ -25,6 +27,10 @@ val baseline : t
 val tailored : t
 (** The paper's HPC-tailored core: 16KB/128B-line 8-way I-cache, 2KB
     tournament predictor + loop BP, 256-entry 8-way BTB. *)
+
+val tailored_preuse : t
+(** {!tailored} with perceptron reuse/bypass I-cache replacement
+    instead of LRU (the fig10p design point). *)
 
 val make_bp : t -> Repro_frontend.Predictor.t
 (** Fresh predictor instance for this configuration. *)

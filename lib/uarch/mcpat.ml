@@ -25,6 +25,7 @@ let icache_bits cfg =
   float_of_int
     (Repro_frontend.Icache.storage_bits
        (Repro_frontend.Icache.create
+          ~policy:cfg.Frontend_config.icache_repl
           ~size_bytes:cfg.Frontend_config.icache_bytes
           ~line_bytes:cfg.Frontend_config.icache_line
           ~assoc:cfg.Frontend_config.icache_assoc ()))

@@ -21,8 +21,9 @@ let measure_many cfgs trace =
           A.Btb_sim.create ~entries:cfg.btb_entries ~assoc:cfg.btb_assoc
         in
         let ic =
-          A.Icache_sim.create ~size_bytes:cfg.icache_bytes
-            ~line_bytes:cfg.icache_line ~assoc:cfg.icache_assoc ()
+          A.Icache_sim.create ~policy:cfg.icache_repl
+            ~size_bytes:cfg.icache_bytes ~line_bytes:cfg.icache_line
+            ~assoc:cfg.icache_assoc ()
         in
         (bp, btb, ic))
       cfgs

@@ -21,7 +21,7 @@ let test_experiment_roundtrip () =
     (Option.map C.Experiment.to_string (C.Experiment.of_string "fig99"))
 
 let test_experiment_count () =
-  Alcotest.(check int) "14 experiments (11 figures + 3 tables)" 14
+  Alcotest.(check int) "16 experiments (13 figures + 3 tables)" 16
     (List.length C.Experiment.all)
 
 let test_experiment_describe_nonempty () =

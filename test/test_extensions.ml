@@ -456,7 +456,7 @@ let test_extension_tables_render () =
     [ t1; t2 ]
 
 let test_zoo_extended () =
-  Alcotest.(check int) "11 names" 11 (List.length F.Zoo.extended_names);
+  Alcotest.(check int) "13 names" 13 (List.length F.Zoo.extended_names);
   List.iter
     (fun n -> ignore (F.Zoo.by_name_extended n))
     F.Zoo.extended_names

@@ -454,6 +454,21 @@ let test_e2e_faulted_run_identical () =
       Alcotest.(check (list (pair string reject))) "no holes" []
         (C.Experiment.holes ()))
 
+let test_e2e_faulted_fig8p_identical () =
+  protected (fun () ->
+      (* The learned-replacement sweep: perceptron weight training and
+         bypass decisions ride the same supervised retry machinery and
+         must be bit-identical under injected faults. *)
+      Faults.configure None;
+      let clean = run_text C.Experiment.Fig8p in
+      Faults.configure (Some "all:0.1:42");
+      C.Engine.set_retries 8;
+      let faulted = run_text C.Experiment.Fig8p in
+      Alcotest.(check string) "fig8p bit-identical under 10% faults" clean
+        faulted;
+      Alcotest.(check (list (pair string reject))) "no holes" []
+        (C.Experiment.holes ()))
+
 let test_e2e_sampled_faulted_run_identical () =
   protected (fun () ->
       (* Same torture, with representative-region sampling on: region
@@ -577,6 +592,8 @@ let () =
       ( "end-to-end",
         [ Alcotest.test_case "faulted run bit-identical" `Slow
             test_e2e_faulted_run_identical;
+          Alcotest.test_case "faulted fig8p bit-identical" `Slow
+            test_e2e_faulted_fig8p_identical;
           Alcotest.test_case "sampled faulted run bit-identical" `Slow
             test_e2e_sampled_faulted_run_identical;
           Alcotest.test_case "100% fault rate, fig4 identical" `Slow

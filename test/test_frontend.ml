@@ -187,10 +187,12 @@ let test_zoo_budgets () =
   check "tournament-big" 15.0 17.0;
   check "tage-small" 1.2 2.5;
   check "tage-big" 12.0 17.0;
+  check "perceptron-small" 1.8 2.2;
+  check "perceptron-big" 15.0 17.0;
   check "L-gshare-small" 2.1 2.8
 
 let test_zoo_names () =
-  Alcotest.(check int) "nine configurations" 9 (List.length F.Zoo.all_names);
+  Alcotest.(check int) "eleven configurations" 11 (List.length F.Zoo.all_names);
   List.iter
     (fun n ->
       let p = F.Zoo.by_name n in

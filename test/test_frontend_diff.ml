@@ -12,13 +12,79 @@
 module F = Repro_frontend
 
 (* ------------------------------------------------------------------ *)
-(* I-cache reference: per-set MRU-first lists. *)
+(* Perceptron reuse/bypass reference: a direct transliteration of the
+   update rule from Replacement's documentation — per-table 2D weight
+   arrays, a prediction captured as an immutable record travelling
+   with the cache line it was made for, training by rebuilding the
+   clamped weights through Array.iteri. Nothing is shared with the
+   flat production layout. *)
+
+module Ref_preuse = struct
+  let tables = 6
+  let entries = 256
+  let wmin = -32
+  let wmax = 31
+  let theta = 68
+  let tau = 3
+
+  (* A prediction: the per-table indices it read and the sum it saw. *)
+  type pred = { idx : int array; yout : int }
+
+  let no_pred = { idx = [||]; yout = 0 }
+
+  type t = {
+    wt : int array array; (* tables x entries *)
+    mutable h1 : int; (* most recent demand fetch line *)
+    mutable h2 : int;
+  }
+
+  let create () =
+    { wt = Array.init tables (fun _ -> Array.make entries 0); h1 = 0; h2 = 0 }
+
+  let feature t j line =
+    (match j with
+    | 0 -> line
+    | 1 -> line lsr 4
+    | 2 -> line lsr 8
+    | 3 -> line lxor (line lsr 5)
+    | 4 -> line lxor t.h1
+    | _ -> (line lsr 2) lxor (t.h2 lsr 1))
+    land (entries - 1)
+
+  let predict t line =
+    let idx = Array.init tables (fun j -> feature t j line) in
+    let yout = ref 0 in
+    Array.iteri (fun j ix -> yout := !yout + t.wt.(j).(ix)) idx;
+    { idx; yout = !yout }
+
+  let dead p = p.yout >= tau
+  let sampled set = set land 3 = 0
+
+  (* Update only on a misprediction or while under-confident; reuse
+     pushes the touched weights down, death pushes them up. *)
+  let train t (p : pred) ~reused =
+    if dead p = reused || abs p.yout <= theta then
+      Array.iteri
+        (fun j ix ->
+          let w = t.wt.(j).(ix) + if reused then -1 else 1 in
+          t.wt.(j).(ix) <- max wmin (min wmax w))
+        p.idx
+
+  let note t line =
+    t.h2 <- t.h1;
+    t.h1 <- line
+end
+
+(* ------------------------------------------------------------------ *)
+(* I-cache reference: per-set MRU-first lists, parameterized by a
+   reference replacement policy (plain LRU or the perceptron above). *)
 
 module Ref_icache = struct
   type way = {
     tag : int;
     mutable touched : int;
     mutable prefetched : bool;
+    mutable pred : Ref_preuse.pred; (* last prediction for this line *)
   }
 
   type t = {
@@ -27,6 +93,7 @@ module Ref_icache = struct
     line : int;
     granules : int;
     prefetch : bool;
+    pol : Ref_preuse.t option; (* None = LRU *)
     mutable mem : way list array; (* most recently used first *)
     mutable accesses : int;
     mutable misses : int;
@@ -36,13 +103,18 @@ module Ref_icache = struct
     mutable filled : int;
   }
 
-  let create ?(next_line_prefetch = false) ~size_bytes ~line_bytes ~assoc () =
+  let create ?(next_line_prefetch = false) ?(policy = F.Replacement.Lru)
+      ~size_bytes ~line_bytes ~assoc () =
     let sets = size_bytes / line_bytes / assoc in
     { sets;
       assoc;
       line = line_bytes;
       granules = line_bytes / 4;
       prefetch = next_line_prefetch;
+      pol =
+        (match policy with
+        | F.Replacement.Lru -> None
+        | F.Replacement.Preuse -> Some (Ref_preuse.create ()));
       mem = Array.make sets [];
       accesses = 0;
       misses = 0;
@@ -63,16 +135,34 @@ module Ref_icache = struct
       w.touched <- w.touched lor (1 lsl g)
     done
 
-  (* Insert [w] at the front of [set_idx], evicting the LRU entry when
-     the set is full (recording its usefulness, as the real cache does
-     on eviction). *)
+  (* The policy's victim in a full set. For LRU that is the last
+     (least recently used) way of the MRU-first list; the perceptron
+     prefers the least recently used among the ways whose last
+     prediction said "dead", falling back to plain LRU. *)
+  let victim_of t set_idx =
+    let l = t.mem.(set_idx) in
+    let last ways = List.nth ways (List.length ways - 1) in
+    match t.pol with
+    | None -> last l
+    | Some _ -> (
+        match List.filter (fun w -> Ref_preuse.dead w.pred) l with
+        | [] -> last l
+        | dead -> last dead)
+
+  (* Insert [w] at the front of [set_idx]; when the set is full, the
+     policy's victim is evicted, its usefulness recorded, and — on
+     sampler sets under the perceptron — its death trained. *)
   let insert_front t set_idx w =
     let l = t.mem.(set_idx) in
     let l =
       if List.length l = t.assoc then begin
-        let victim = List.nth l (t.assoc - 1) in
+        let victim = victim_of t set_idx in
         t.useful_sum <- t.useful_sum +. usefulness_of t victim;
-        List.filteri (fun i _ -> i < t.assoc - 1) l
+        (match t.pol with
+        | Some p when Ref_preuse.sampled set_idx ->
+            Ref_preuse.train p victim.pred ~reused:false
+        | _ -> ());
+        List.filter (fun x -> x != victim) l
       end
       else l
     in
@@ -84,13 +174,20 @@ module Ref_icache = struct
   let to_front t set_idx w =
     t.mem.(set_idx) <- w :: List.filter (fun x -> x != w) t.mem.(set_idx)
 
+  (* Prefetch fills predict and can train an evicted victim, but never
+     bypass and never enter the demand-line history. *)
   let prefetch_line t line =
     let set_idx = line mod t.sets in
     let tag = line / t.sets in
     match find t set_idx tag with
     | Some _ -> ()
     | None ->
-        let w = { tag; touched = 0; prefetched = true } in
+        let pred =
+          match t.pol with
+          | None -> Ref_preuse.no_pred
+          | Some p -> Ref_preuse.predict p line
+        in
+        let w = { tag; touched = 0; prefetched = true; pred } in
         insert_front t set_idx w;
         t.prefetches <- t.prefetches + 1
 
@@ -98,22 +195,47 @@ module Ref_icache = struct
     let set_idx = line mod t.sets in
     let tag = line / t.sets in
     t.accesses <- t.accesses + 1;
-    match find t set_idx tag with
-    | Some w ->
-        if w.prefetched then begin
-          w.prefetched <- false;
-          t.useful_prefetches <- t.useful_prefetches + 1
-        end;
-        to_front t set_idx w;
-        mark t w ~offset ~size;
-        true
-    | None ->
-        t.misses <- t.misses + 1;
-        let w = { tag; touched = 0; prefetched = false } in
-        insert_front t set_idx w;
-        mark t w ~offset ~size;
-        if t.prefetch then prefetch_line t (line + 1);
-        false
+    let hit =
+      match find t set_idx tag with
+      | Some w ->
+          (* Reuse observed: train on sampler sets, then re-predict
+             this line under the current history. *)
+          (match t.pol with
+          | Some p ->
+              if Ref_preuse.sampled set_idx then
+                Ref_preuse.train p w.pred ~reused:true;
+              w.pred <- Ref_preuse.predict p line
+          | None -> ());
+          if w.prefetched then begin
+            w.prefetched <- false;
+            t.useful_prefetches <- t.useful_prefetches + 1
+          end;
+          to_front t set_idx w;
+          mark t w ~offset ~size;
+          true
+      | None ->
+          t.misses <- t.misses + 1;
+          let pred =
+            match t.pol with
+            | None -> Ref_preuse.no_pred
+            | Some p -> Ref_preuse.predict p line
+          in
+          let bypass =
+            t.pol <> None
+            && (not (Ref_preuse.sampled set_idx))
+            && Ref_preuse.dead pred
+          in
+          if not bypass then begin
+            let w = { tag; touched = 0; prefetched = false; pred } in
+            insert_front t set_idx w;
+            mark t w ~offset ~size
+          end;
+          if t.prefetch then prefetch_line t (line + 1);
+          false
+    in
+    (* Demand accesses (hit, fill or bypass) advance the history. *)
+    (match t.pol with Some p -> Ref_preuse.note p line | None -> ());
+    hit
 
   let access t ~addr ~size =
     let first = addr / t.line and last = (addr + size - 1) / t.line in
@@ -184,35 +306,42 @@ let icache_arb =
       Printf.sprintf "%dB/%dB/%dw pf=%b: %s" sz l a pf
         (String.concat " " (List.map pp_iop ops)))
 
+let icache_diff_prop ~policy ((size_bytes, line_bytes, assoc, pf), ops) =
+  QCheck.assume (size_bytes / line_bytes >= assoc);
+  let real =
+    F.Icache.create ~next_line_prefetch:pf ~policy ~size_bytes ~line_bytes
+      ~assoc ()
+  in
+  let ref_ =
+    Ref_icache.create ~next_line_prefetch:pf ~policy ~size_bytes ~line_bytes
+      ~assoc ()
+  in
+  List.for_all
+    (fun op ->
+      match op with
+      | Access (addr, size) ->
+          F.Icache.access real ~addr ~size = Ref_icache.access ref_ ~addr ~size
+      | Consume (addr, size) ->
+          F.Icache.consume real ~addr ~size;
+          Ref_icache.consume ref_ ~addr ~size;
+          true)
+    ops
+  && F.Icache.accesses real = ref_.Ref_icache.accesses
+  && F.Icache.misses real = ref_.Ref_icache.misses
+  && F.Icache.prefetches real = ref_.Ref_icache.prefetches
+  && F.Icache.useful_prefetches real = ref_.Ref_icache.useful_prefetches
+  &&
+  let u = F.Icache.usefulness real and v = Ref_icache.usefulness ref_ in
+  (Float.is_nan u && Float.is_nan v) || Float.abs (u -. v) < 1e-9
+
 let prop_icache_matches_reference =
   QCheck.Test.make ~name:"Icache == naive LRU reference" ~count:150 icache_arb
-    (fun ((size_bytes, line_bytes, assoc, pf), ops) ->
-      QCheck.assume (size_bytes / line_bytes >= assoc);
-      let real =
-        F.Icache.create ~next_line_prefetch:pf ~size_bytes ~line_bytes ~assoc ()
-      in
-      let ref_ =
-        Ref_icache.create ~next_line_prefetch:pf ~size_bytes ~line_bytes ~assoc
-          ()
-      in
-      List.for_all
-        (fun op ->
-          match op with
-          | Access (addr, size) ->
-              F.Icache.access real ~addr ~size
-              = Ref_icache.access ref_ ~addr ~size
-          | Consume (addr, size) ->
-              F.Icache.consume real ~addr ~size;
-              Ref_icache.consume ref_ ~addr ~size;
-              true)
-        ops
-      && F.Icache.accesses real = ref_.Ref_icache.accesses
-      && F.Icache.misses real = ref_.Ref_icache.misses
-      && F.Icache.prefetches real = ref_.Ref_icache.prefetches
-      && F.Icache.useful_prefetches real = ref_.Ref_icache.useful_prefetches
-      &&
-      let u = F.Icache.usefulness real and v = Ref_icache.usefulness ref_ in
-      (Float.is_nan u && Float.is_nan v) || Float.abs (u -. v) < 1e-9)
+    (icache_diff_prop ~policy:F.Replacement.Lru)
+
+let prop_icache_matches_preuse_reference =
+  QCheck.Test.make ~name:"Icache == naive perceptron reference" ~count:150
+    icache_arb
+    (icache_diff_prop ~policy:F.Replacement.Preuse)
 
 (* ------------------------------------------------------------------ *)
 (* BTB reference: per-set association lists in LRU order. *)
@@ -379,7 +508,10 @@ let prop_history_low_bits =
 
 let () =
   Alcotest.run "frontend-diff"
-    [ ("icache", Qseed.all [ prop_icache_matches_reference ]);
+    [ ("icache",
+       Qseed.all
+         [ prop_icache_matches_reference;
+           prop_icache_matches_preuse_reference ]);
       ("btb", Qseed.all [ prop_btb_matches_reference ]);
       ("gshare", Qseed.all [ prop_gshare_matches_reference ]);
       ("history", Qseed.all [ prop_history_low_bits ]) ]

@@ -53,7 +53,8 @@ let check_all_paths id () =
          fig8 never consult it and must not pretend to. *)
       let served = (C.Engine.stats ()).cache_hits - hits_before in
       match id with
-      | C.Experiment.Fig1 | C.Experiment.Tab1 | C.Experiment.Fig10 ->
+      | C.Experiment.Fig1 | C.Experiment.Tab1 | C.Experiment.Fig10
+      | C.Experiment.Fig10p ->
           Alcotest.(check bool) "warm run served from disk" true (served > 0)
       | _ -> Alcotest.(check int) "no cache traffic" 0 served)
 
@@ -91,7 +92,8 @@ let () =
            Alcotest.test_case (C.Experiment.to_string id) `Slow
              (check_all_paths id))
          C.Experiment.
-           [ Fig1; Tab1; Fig5; Fig6; Fig8; Fig9; Tab2; Tab3; Fig10 ]);
+           [ Fig1; Tab1; Fig5; Fig6; Fig8; Fig8p; Fig9; Tab2; Tab3; Fig10;
+             Fig10p ]);
       ("sampled",
        [ Alcotest.test_case "fig8 @ 0.25" `Slow
            (check_sampled C.Experiment.Fig8) ]) ]

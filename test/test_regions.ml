@@ -66,9 +66,17 @@ let stream_gen = QCheck.Gen.(list_size (int_range 0 6000) inst_gen)
 let bp_specs () = Array.of_list (List.map A.Bp_sweep.of_name F.Zoo.all_names)
 let btb_configs = [| (16, 1); (16, 2); (64, 2); (64, 8); (256, 4) |]
 
+(* Mixed replacement policies: sampled identity and escalation must
+   hold for learned-policy cells too, including a geometry swept under
+   both policies inside one line-size group. *)
 let icache_configs =
-  [| (1024, 32, 1); (1024, 32, 2); (2048, 32, 4); (1024, 64, 2);
-     (4096, 64, 4); (2048, 128, 2) |]
+  [| A.Icache_sweep.cfg (1024, 32, 1);
+     A.Icache_sweep.cfg (1024, 32, 2);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (1024, 32, 2);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (2048, 32, 4);
+     A.Icache_sweep.cfg (1024, 64, 2);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (4096, 64, 4);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (2048, 128, 2) |]
 
 let bp_eq (a : A.Bp_sweep.t) (b : A.Bp_sweep.t) =
   List.for_all
@@ -222,7 +230,15 @@ let prop_accuracy =
       let total = A.Branch_mix.Total in
       let sb = A.Btb_sweep.run samp [| (256, 2); (512, 4); (1024, 8) |]
       and eb = A.Btb_sweep.run exact [| (256, 2); (512, 4); (1024, 8) |] in
-      let ics = [| (8192, 64, 2); (16384, 64, 4); (32768, 64, 8) |] in
+      (* Fig8/fig8p-shaped cells: the paper's geometries under LRU and
+         the headline pair under perceptron reuse/bypass. *)
+      let ics =
+        [| A.Icache_sweep.cfg (8192, 64, 2);
+           A.Icache_sweep.cfg (16384, 64, 4);
+           A.Icache_sweep.cfg (32768, 64, 8);
+           A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (8192, 64, 2);
+           A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (16384, 64, 4) |]
+      in
       let si = A.Icache_sweep.run samp ics
       and ei = A.Icache_sweep.run exact ics in
       let sp = A.Bp_sweep.run samp (bp_specs ())

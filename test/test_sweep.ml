@@ -138,9 +138,28 @@ let prop_btb_fused =
    decision) and differing ones (independent groups), small enough
    that the random streams cause evictions. *)
 
-let icache_configs =
+let icache_geometries =
   [| (1024, 32, 1); (1024, 32, 2); (2048, 32, 4); (1024, 64, 2);
      (4096, 64, 4); (2048, 128, 2) |]
+
+let icache_configs = Array.map A.Icache_sweep.cfg icache_geometries
+
+(* The same geometries under perceptron reuse/bypass replacement, and
+   a mixed sweep interleaving both policies — including the same
+   geometry under each policy inside one line-size group, so a shared
+   group decision feeds caches whose replacement state disagrees. *)
+let icache_preuse_configs =
+  Array.map
+    (A.Icache_sweep.cfg ~policy:F.Replacement.Preuse)
+    icache_geometries
+
+let icache_mixed_configs =
+  [| A.Icache_sweep.cfg (1024, 32, 2);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (1024, 32, 2);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (2048, 32, 4);
+     A.Icache_sweep.cfg (4096, 64, 4);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (1024, 64, 2);
+     A.Icache_sweep.cfg ~policy:F.Replacement.Preuse (2048, 128, 2) |]
 
 let icache_agrees (fused : A.Icache_sweep.t) (sim : A.Icache_sim.t) =
   List.for_all
@@ -158,17 +177,16 @@ let icache_agrees (fused : A.Icache_sweep.t) (sim : A.Icache_sim.t) =
      = F.Icache.useful_prefetches (A.Icache_sim.cache sim)
   && feq (A.Icache_sweep.usefulness fused) (A.Icache_sim.usefulness sim)
 
-let icache_prop ~next_line_prefetch input =
-  let fused =
-    A.Icache_sweep.run ~next_line_prefetch (source_of input) icache_configs
-  in
+let icache_prop ~configs ~next_line_prefetch input =
+  let fused = A.Icache_sweep.run ~next_line_prefetch (source_of input) configs in
   let sims =
     Array.to_list
       (Array.map
-         (fun (size_bytes, line_bytes, assoc) ->
-           A.Icache_sim.create ~next_line_prefetch ~size_bytes ~line_bytes
-             ~assoc ())
-         icache_configs)
+         (fun (c : A.Icache_sweep.config) ->
+           A.Icache_sim.create ~next_line_prefetch ~policy:c.policy
+             ~size_bytes:c.size_bytes ~line_bytes:c.line_bytes ~assoc:c.assoc
+             ())
+         configs)
   in
   A.Icache_sim.run_all (source_of input) sims;
   List.for_all2 icache_agrees (Array.to_list fused) sims
@@ -176,13 +194,38 @@ let icache_prop ~next_line_prefetch input =
 let prop_icache_fused =
   QCheck.Test.make ~name:"Icache_sweep == per-config Icache_sim" ~count:80
     stream_arb
-    (icache_prop ~next_line_prefetch:false)
+    (icache_prop ~configs:icache_configs ~next_line_prefetch:false)
 
 let prop_icache_fused_prefetch =
   QCheck.Test.make
     ~name:"Icache_sweep == per-config Icache_sim (next-line prefetch)"
     ~count:80 stream_arb
-    (icache_prop ~next_line_prefetch:true)
+    (icache_prop ~configs:icache_configs ~next_line_prefetch:true)
+
+let prop_icache_fused_preuse =
+  QCheck.Test.make ~name:"Icache_sweep == per-config Icache_sim (preuse)"
+    ~count:80 stream_arb
+    (icache_prop ~configs:icache_preuse_configs ~next_line_prefetch:false)
+
+let prop_icache_fused_preuse_prefetch =
+  QCheck.Test.make
+    ~name:"Icache_sweep == per-config Icache_sim (preuse, next-line prefetch)"
+    ~count:80 stream_arb
+    (icache_prop ~configs:icache_preuse_configs ~next_line_prefetch:true)
+
+let prop_icache_fused_mixed =
+  QCheck.Test.make
+    ~name:"Icache_sweep == per-config Icache_sim (mixed policies)" ~count:80
+    stream_arb
+    (icache_prop ~configs:icache_mixed_configs ~next_line_prefetch:false)
+
+let prop_icache_fused_mixed_prefetch =
+  QCheck.Test.make
+    ~name:
+      "Icache_sweep == per-config Icache_sim (mixed policies, next-line \
+       prefetch)"
+    ~count:80 stream_arb
+    (icache_prop ~configs:icache_mixed_configs ~next_line_prefetch:true)
 
 (* ------------------------------------------------------------------ *)
 (* Config-axis splitting: a sweep over any sub-range must equal the
@@ -201,11 +244,12 @@ let prop_split_ranges =
   QCheck.Test.make ~name:"sub-range sweep == slice of whole sweep" ~count:40
     split_arb (fun (insts, packed, cut) ->
       let input = (insts, packed) in
-      let whole = A.Icache_sweep.run (source_of input) icache_configs in
-      let n = Array.length icache_configs in
+      let whole = A.Icache_sweep.run (source_of input) icache_mixed_configs in
+      let n = Array.length icache_mixed_configs in
       let cut = min cut (n - 1) in
       let part lo len =
-        A.Icache_sweep.run (source_of input) (Array.sub icache_configs lo len)
+        A.Icache_sweep.run (source_of input)
+          (Array.sub icache_mixed_configs lo len)
       in
       let parts = Array.append (part 0 cut) (part cut (n - cut)) in
       Array.for_all2
@@ -225,5 +269,8 @@ let () =
       ("btb", Qseed.all [ prop_btb_fused ]);
       ("icache",
        Qseed.all
-         [ prop_icache_fused; prop_icache_fused_prefetch; prop_split_ranges ])
+         [ prop_icache_fused; prop_icache_fused_prefetch;
+           prop_icache_fused_preuse; prop_icache_fused_preuse_prefetch;
+           prop_icache_fused_mixed; prop_icache_fused_mixed_prefetch;
+           prop_split_ranges ])
     ]
